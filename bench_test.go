@@ -1,0 +1,89 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section.  Each benchmark iteration performs the full
+// experiment: the sequential baseline plus the TreadMarks and PVM runs it
+// needs (all processor counts, for figures).
+//
+// Workloads run at a reduced scale (BenchScale) so `go test -bench=.`
+// finishes in minutes; the msvdsm command reproduces the same experiments
+// at full paper scale.  Reported metrics:
+//
+//	modelsec/op   modeled 8-processor wall-clock (virtual seconds)
+//	tmkmsg/op     TreadMarks wire messages at 8 processors
+//	pvmmsg/op     PVM user messages at 8 processors
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// BenchScale shrinks the paper workloads for benchmarking.
+const BenchScale = 0.1
+
+func benchFigure(b *testing.B, name string) {
+	b.Helper()
+	runners := harness.Experiments(BenchScale)
+	r := harness.Find(runners, name)
+	if r == nil {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	seq, err := r.Seq()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tres, err := r.TMK(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pres, err := r.PVM(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(tres.Time.Seconds(), "tmk-modelsec/op")
+			b.ReportMetric(pres.Time.Seconds(), "pvm-modelsec/op")
+			b.ReportMetric(seq.Time.Seconds()/tres.Time.Seconds(), "tmk-speedup")
+			b.ReportMetric(seq.Time.Seconds()/pres.Time.Seconds(), "pvm-speedup")
+			b.ReportMetric(float64(tres.Net.Messages), "tmkmsg/op")
+			b.ReportMetric(float64(pres.Net.Messages), "pvmmsg/op")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the sequential-time table.
+func BenchmarkTable1(b *testing.B) {
+	runners := harness.Experiments(BenchScale)
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table1(runners); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the 8-processor traffic table.
+func BenchmarkTable2(b *testing.B) {
+	runners := harness.Experiments(BenchScale)
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table2(runners); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per speedup figure (Figures 1-12).
+
+func BenchmarkFigEP(b *testing.B)         { benchFigure(b, "EP") }
+func BenchmarkFigSORZero(b *testing.B)    { benchFigure(b, "SOR-Zero") }
+func BenchmarkFigSORNonzero(b *testing.B) { benchFigure(b, "SOR-Nonzero") }
+func BenchmarkFigISSmall(b *testing.B)    { benchFigure(b, "IS-Small") }
+func BenchmarkFigISLarge(b *testing.B)    { benchFigure(b, "IS-Large") }
+func BenchmarkFigTSP(b *testing.B)        { benchFigure(b, "TSP") }
+func BenchmarkFigQSORT(b *testing.B)      { benchFigure(b, "QSORT") }
+func BenchmarkFigWater288(b *testing.B)   { benchFigure(b, "Water-288") }
+func BenchmarkFigWater1728(b *testing.B)  { benchFigure(b, "Water-1728") }
+func BenchmarkFigBarnesHut(b *testing.B)  { benchFigure(b, "Barnes-Hut") }
+func BenchmarkFigFFT(b *testing.B)        { benchFigure(b, "3D-FFT") }
+func BenchmarkFigILINK(b *testing.B)      { benchFigure(b, "ILINK") }

@@ -1,0 +1,139 @@
+// Command msvdsm regenerates the tables and figures of "Message Passing
+// Versus Distributed Shared Memory on Networks of Workstations" (SC '95)
+// on the simulated workstation cluster.
+//
+// Usage:
+//
+//	msvdsm table1                # Table 1: sequential times
+//	msvdsm table2                # Table 2: messages and data at 8 procs
+//	msvdsm fig <name>            # one speedup figure (e.g. fig sor-zero)
+//	msvdsm figures               # all twelve speedup figures
+//	msvdsm all                   # everything
+//	msvdsm list                  # experiment names
+//
+// Flags:
+//
+//	-scale f   workload scale factor (default 1.0 = paper scale;
+//	           0.1 runs in seconds for a quick look)
+//	-procs n   maximum processor count for figures (default 8)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper scale)")
+	procs := flag.Int("procs", 8, "maximum processor count for figures")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	runners := harness.Experiments(*scale)
+	cmd := strings.ToLower(flag.Arg(0))
+	var err error
+	switch cmd {
+	case "table1":
+		err = printTable1(runners)
+	case "table2":
+		err = printTable2(runners)
+	case "fig", "figure":
+		if flag.NArg() < 2 {
+			fmt.Fprintln(os.Stderr, "msvdsm fig <name>; see 'msvdsm list'")
+			os.Exit(2)
+		}
+		err = printFigure(runners, flag.Arg(1), *procs)
+	case "figures":
+		err = printAllFigures(runners, *procs)
+	case "ablate":
+		var out string
+		out, err = harness.Ablations(*scale)
+		if err == nil {
+			fmt.Println(out)
+		}
+	case "all":
+		if err = printTable1(runners); err == nil {
+			if err = printTable2(runners); err == nil {
+				err = printAllFigures(runners, *procs)
+			}
+		}
+	case "list":
+		for _, n := range harness.Names(runners) {
+			fmt.Println(n)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msvdsm:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `msvdsm - PVM vs TreadMarks comparison (SC '95 reproduction)
+
+usage: msvdsm [-scale f] [-procs n] <command>
+
+commands:
+  table1        sequential times of the applications (Table 1)
+  table2        messages and data at 8 processors (Table 2)
+  fig <name>    one speedup figure (Figures 1-12)
+  figures       all twelve speedup figures
+  ablate        page-size / MTU ablations and primitive microbenchmarks
+  all           tables and figures
+  list          experiment names
+`)
+	flag.PrintDefaults()
+}
+
+func printTable1(runners []harness.Runner) error {
+	out, err := harness.Table1(runners)
+	if err != nil {
+		return err
+	}
+	fmt.Println(out)
+	return nil
+}
+
+func printTable2(runners []harness.Runner) error {
+	out, err := harness.Table2(runners)
+	if err != nil {
+		return err
+	}
+	fmt.Println(out)
+	return nil
+}
+
+func printFigure(runners []harness.Runner, name string, procs int) error {
+	r := harness.Find(runners, name)
+	if r == nil {
+		return fmt.Errorf("unknown experiment %q (try 'msvdsm list')", name)
+	}
+	fig, err := harness.FigureData(r, procs)
+	if err != nil {
+		return err
+	}
+	fmt.Println(fig.Render())
+	return nil
+}
+
+func printAllFigures(runners []harness.Runner, procs int) error {
+	for i := range runners {
+		fig, err := harness.FigureData(&runners[i], procs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fig.Render())
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package barnes
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestTreeInvariants(t *testing.T) {
+	cfg := Small()
+	bodies := cfg.initBodies()
+	tr := buildTree(bodies, cfg.Bodies)
+	if tr.built != cfg.Bodies {
+		t.Fatalf("built %d, want %d", tr.built, cfg.Bodies)
+	}
+	if tr.root.nbody != cfg.Bodies {
+		t.Fatalf("root count %d", tr.root.nbody)
+	}
+	// Total mass is preserved.
+	if diff := tr.root.mass - 1.0; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("root mass %v, want 1", tr.root.mass)
+	}
+	leaves := tr.leavesInOrder(tr.root, nil)
+	if len(leaves) != cfg.Bodies {
+		t.Fatalf("%d leaves, want %d", len(leaves), cfg.Bodies)
+	}
+	seen := map[int]bool{}
+	for _, b := range leaves {
+		if seen[b] {
+			t.Fatalf("body %d appears twice", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestCostzonePartition(t *testing.T) {
+	leaves := make([]int, 100)
+	for i := range leaves {
+		leaves[i] = i * 3
+	}
+	total := 0
+	for id := 0; id < 8; id++ {
+		total += len(costzone(leaves, 8, id))
+	}
+	if total != 100 {
+		t.Fatalf("partition covers %d, want 100", total)
+	}
+}
+
+func TestSeqDeterministic(t *testing.T) {
+	cfg := Small()
+	_, a, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Check(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Sum == 0 {
+		t.Fatal("degenerate checksum")
+	}
+}
+
+func TestTMKMatchesSequential(t *testing.T) {
+	cfg := Small()
+	_, want, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		_, got, err := RunTMK(cfg, core.Default(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := want.Check(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestPVMMatchesSequential(t *testing.T) {
+	cfg := Small()
+	_, want, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		_, got, err := RunPVM(cfg, core.Default(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := want.Check(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// The paper: TreadMarks sends far more messages than PVM (false sharing
+// in the scattered update phase → diff requests to several processors),
+// and somewhat more data.
+func TestFalseSharingDrivesMessages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	cfg := Paper()
+	cfg.Steps = 4 // step 1 reads preloaded data: no TreadMarks traffic
+	const n = 8
+	pvmRes, _, err := RunPVM(cfg, core.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmkRes, _, err := RunTMK(cfg, core.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmkRes.Net.Messages < 3*pvmRes.Net.Messages {
+		t.Errorf("message ratio %.1f (tmk=%d pvm=%d), want large",
+			float64(tmkRes.Net.Messages)/float64(pvmRes.Net.Messages),
+			tmkRes.Net.Messages, pvmRes.Net.Messages)
+	}
+	// Per steady-state step TreadMarks moves at least as much data as PVM
+	// (false sharing brings in unwanted bytes); TreadMarks pays nothing on
+	// the first (preloaded) step, hence the (Steps-1)/Steps factor.
+	steady := float64(pvmRes.Net.Bytes) * float64(cfg.Steps-1) / float64(cfg.Steps)
+	if float64(tmkRes.Net.Bytes) < 0.9*steady {
+		t.Errorf("tmk bytes %d below steady-state parity %.0f with pvm",
+			tmkRes.Net.Bytes, steady)
+	}
+}
+
+// Both systems speed up poorly (low compute/communication ratio), with
+// TreadMarks behind PVM.
+func TestPaperScaleGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	cfg := Paper()
+	cfg.Steps = 3
+	seq, _, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pvmRes, pvmOut, err := RunPVM(cfg, core.Default(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmkRes, tmkOut, err := RunTMK(cfg, core.Default(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pvmOut.Check(tmkOut); err != nil {
+		t.Fatal(err)
+	}
+	sp := seq.Time.Seconds() / pvmRes.Time.Seconds()
+	st := seq.Time.Seconds() / tmkRes.Time.Seconds()
+	if sp > 6.5 || st > 6.5 {
+		t.Errorf("speedups pvm=%.2f tmk=%.2f: paper reports poor scaling here", sp, st)
+	}
+	if st >= sp {
+		t.Errorf("tmk speedup %.2f should trail pvm %.2f", st, sp)
+	}
+}

@@ -1,0 +1,210 @@
+// Package ep implements the NAS Embarrassingly Parallel benchmark
+// (paper §3.3): generate pairs of Gaussian random deviates by the polar
+// (acceptance-rejection) method and tabulate the number of pairs in
+// successive square annuli.  The only communication is summing a
+// ten-element list at the end of the run.
+//
+// In the TreadMarks version the shared tally is updated under a lock; in
+// the PVM version processor 0 receives each processor's list and sums
+// them, as described in the paper.
+package ep
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/pvm"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+)
+
+// Config describes one EP problem.
+type Config struct {
+	Pairs     int      // uniform pairs generated (before rejection)
+	CostScale int      // virtual pairs modeled per real pair (problem scaling)
+	PairCost  sim.Time // modeled CPU time per virtual pair
+	Seed      uint64
+}
+
+// Paper returns the paper-equivalent problem: the class A size (2^28
+// pairs) is modeled by generating 2^22 real pairs, each standing for 64
+// virtual pairs of CPU time.  See EXPERIMENTS.md for the calibration.
+func Paper() Config {
+	return Config{Pairs: 1 << 22, CostScale: 64, PairCost: 3300 * sim.Nanosecond, Seed: 271828}
+}
+
+// Small returns a CI-sized problem.
+func Small() Config {
+	return Config{Pairs: 1 << 14, CostScale: 1, PairCost: 3300 * sim.Nanosecond, Seed: 271828}
+}
+
+// Output is the benchmark result: annulus counts and deviate sums.
+type Output struct {
+	Q          [10]int64
+	SumX, SumY float64
+	Accepted   int64
+}
+
+// Check compares outputs: counts exactly, sums within floating tolerance
+// (the parallel versions reduce partial sums in different orders).
+func (o Output) Check(other Output) error {
+	if o.Q != other.Q {
+		return fmt.Errorf("ep: annuli differ: %v vs %v", o.Q, other.Q)
+	}
+	if o.Accepted != other.Accepted {
+		return fmt.Errorf("ep: accepted %d vs %d", o.Accepted, other.Accepted)
+	}
+	if !closeEnough(o.SumX, other.SumX) || !closeEnough(o.SumY, other.SumY) {
+		return fmt.Errorf("ep: sums differ: (%g,%g) vs (%g,%g)", o.SumX, o.SumY, other.SumX, other.SumY)
+	}
+	return nil
+}
+
+func closeEnough(a, b float64) bool {
+	d := math.Abs(a - b)
+	return d <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+// splitmix64 gives a reproducible, index-addressable random stream, so
+// every processor can generate its slice of pairs independently.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func uniform(seed, idx uint64) float64 {
+	return 2*float64(splitmix64(seed+idx)>>11)/(1<<53) - 1
+}
+
+// chunk computes EP over pair indices [lo,hi), charging modeled time.
+func chunk(ctx *sim.Ctx, cfg Config, lo, hi int) Output {
+	var out Output
+	const batch = 8192
+	for i := lo; i < hi; i++ {
+		if (i-lo)%batch == 0 {
+			n := batch
+			if hi-i < n {
+				n = hi - i
+			}
+			ctx.Compute(sim.Time(n*cfg.CostScale) * cfg.PairCost)
+		}
+		x := uniform(cfg.Seed, uint64(2*i))
+		y := uniform(cfg.Seed, uint64(2*i+1))
+		t := x*x + y*y
+		if t > 1 || t == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(t) / t)
+		gx, gy := x*f, y*f
+		out.SumX += gx
+		out.SumY += gy
+		l := int(math.Max(math.Abs(gx), math.Abs(gy)))
+		if l > 9 {
+			l = 9
+		}
+		out.Q[l]++
+		out.Accepted++
+	}
+	return out
+}
+
+// span divides [0,total) into nearly equal slices.
+func span(total, nprocs, id int) (int, int) {
+	lo := id * total / nprocs
+	hi := (id + 1) * total / nprocs
+	return lo, hi
+}
+
+// RunSeq runs the sequential program (no communication library).
+func RunSeq(cfg Config) (core.Result, Output, error) {
+	var out Output
+	res, err := core.RunSeq(func(ctx *sim.Ctx) {
+		out = chunk(ctx, cfg, 0, cfg.Pairs)
+	})
+	return res, out, err
+}
+
+// Shared layout for the TreadMarks version.
+const (
+	lockTally = 0
+)
+
+// RunTMK runs the TreadMarks version on ccfg.Procs processors.
+func RunTMK(cfg Config, ccfg core.Config) (core.Result, Output, error) {
+	var out Output
+	res, err := core.RunTMK(ccfg,
+		func(sys *tmk.System) {
+			sys.Malloc(10 * 8) // shared annuli tally
+			sys.Malloc(2 * 8)  // shared sums
+			sys.Malloc(8)      // shared accepted count
+		},
+		func(p *tmk.Proc) {
+			qAddr := tmk.Addr(0)
+			sumAddr := tmk.Addr(80)
+			accAddr := tmk.Addr(96)
+			lo, hi := span(cfg.Pairs, p.N(), p.ID())
+			local := chunk(p.Ctx(), cfg, lo, hi)
+			// Updates to the shared list are protected by a lock.
+			p.LockAcquire(lockTally)
+			q := p.I64Array(qAddr, 10)
+			for i := 0; i < 10; i++ {
+				q.Set(i, q.At(i)+local.Q[i])
+			}
+			p.WriteF64(sumAddr, p.ReadF64(sumAddr)+local.SumX)
+			p.WriteF64(sumAddr+8, p.ReadF64(sumAddr+8)+local.SumY)
+			p.WriteI64(accAddr, p.ReadI64(accAddr)+local.Accepted)
+			p.LockRelease(lockTally)
+			p.Barrier(0)
+			if p.ID() == 0 {
+				q := p.I64Array(qAddr, 10)
+				for i := 0; i < 10; i++ {
+					out.Q[i] = q.At(i)
+				}
+				out.SumX = p.ReadF64(sumAddr)
+				out.SumY = p.ReadF64(sumAddr + 8)
+				out.Accepted = p.ReadI64(accAddr)
+			}
+		})
+	return res, out, err
+}
+
+// Message tags for the PVM version.
+const tagTally = 1
+
+// RunPVM runs the PVM version on ccfg.Procs processes.
+func RunPVM(cfg Config, ccfg core.Config) (core.Result, Output, error) {
+	var out Output
+	res, err := core.RunPVM(ccfg, func(p *pvm.Proc) {
+		lo, hi := span(cfg.Pairs, p.N(), p.ID())
+		local := chunk(p.Ctx(), cfg, lo, hi)
+		if p.ID() != 0 {
+			b := p.InitSend()
+			b.PackInt64(local.Q[:], 10, 1)
+			b.PackFloat64([]float64{local.SumX, local.SumY}, 2, 1)
+			b.PackOneInt64(local.Accepted)
+			p.Send(0, tagTally)
+			return
+		}
+		// Processor 0 receives the lists from each processor and sums.
+		total := local
+		for src := 1; src < p.N(); src++ {
+			r := p.Recv(src, tagTally)
+			var q [10]int64
+			r.UnpackInt64(q[:], 10, 1)
+			var sums [2]float64
+			r.UnpackFloat64(sums[:], 2, 1)
+			acc := r.UnpackOneInt64()
+			for i := 0; i < 10; i++ {
+				total.Q[i] += q[i]
+			}
+			total.SumX += sums[0]
+			total.SumY += sums[1]
+			total.Accepted += acc
+		}
+		out = total
+	}, nil)
+	return res, out, err
+}

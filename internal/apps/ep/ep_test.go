@@ -1,0 +1,119 @@
+package ep
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSeqDeterministic(t *testing.T) {
+	cfg := Small()
+	_, a, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("sequential runs differ: %+v vs %+v", a, b)
+	}
+	if a.Accepted == 0 || a.Q[0] == 0 {
+		t.Fatalf("degenerate output: %+v", a)
+	}
+	// Polar method accepts ~ pi/4 of pairs.
+	frac := float64(a.Accepted) / float64(cfg.Pairs)
+	if frac < 0.75 || frac > 0.82 {
+		t.Fatalf("acceptance fraction %v, want ~0.785", frac)
+	}
+}
+
+func TestTMKMatchesSequential(t *testing.T) {
+	cfg := Small()
+	_, want, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 8} {
+		_, got, err := RunTMK(cfg, core.Default(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := want.Check(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestPVMMatchesSequential(t *testing.T) {
+	cfg := Small()
+	_, want, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 5, 8} {
+		_, got, err := RunPVM(cfg, core.Default(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := want.Check(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// The paper: "Both TreadMarks and PVM achieve a speedup of ~8 using 8
+// processors because ... the communication overhead is negligible."
+func TestNearLinearSpeedup(t *testing.T) {
+	// Use a paper-scale compute/communication ratio (the Small config is
+	// deliberately tiny and communication-bound).
+	cfg := Small()
+	cfg.Pairs = 1 << 17
+	cfg.CostScale = 64
+	seq, _, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmkRes, _, err := RunTMK(cfg, core.Default(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pvmRes, _, err := RunPVM(cfg, core.Default(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := seq.Time.Seconds() / tmkRes.Time.Seconds()
+	sp := seq.Time.Seconds() / pvmRes.Time.Seconds()
+	if st < 7.0 || sp < 7.0 {
+		t.Fatalf("speedups at 8 procs: tmk=%.2f pvm=%.2f, want ~8", st, sp)
+	}
+}
+
+// PVM sends exactly n-1 user messages (the tally lists).
+func TestPVMMessageCount(t *testing.T) {
+	cfg := Small()
+	res, _, err := RunPVM(cfg, core.Default(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Net.Messages != 7 {
+		t.Fatalf("messages = %d, want 7", res.Net.Messages)
+	}
+}
+
+// TreadMarks communication is small: a lock chain plus a barrier plus a
+// handful of diff fetches for the single shared page.
+func TestTMKTrafficSmall(t *testing.T) {
+	cfg := Small()
+	res, _, err := RunTMK(cfg, core.Default(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Net.Messages == 0 || res.Net.Messages > 120 {
+		t.Fatalf("tmk messages = %d, want small nonzero", res.Net.Messages)
+	}
+	if res.Net.Bytes > 100_000 {
+		t.Fatalf("tmk bytes = %d, want < 100 KB", res.Net.Bytes)
+	}
+}

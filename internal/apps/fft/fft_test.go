@@ -1,0 +1,161 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// TestFFT1DKnownValues: FFT of a constant signal is an impulse.
+func TestFFT1DImpulse(t *testing.T) {
+	n := 8
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := range re {
+		re[i] = 1
+	}
+	fft1d(re, im)
+	if math.Abs(re[0]-8) > 1e-12 {
+		t.Fatalf("re[0] = %v, want 8", re[0])
+	}
+	for i := 1; i < n; i++ {
+		if math.Abs(re[i]) > 1e-12 || math.Abs(im[i]) > 1e-12 {
+			t.Fatalf("bin %d = (%v,%v), want 0", i, re[i], im[i])
+		}
+	}
+}
+
+// Property: Parseval's theorem — energy is preserved up to the factor n.
+func TestFFT1DParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 << (2 + r.Intn(5)) // 4..64
+		re := make([]float64, n)
+		im := make([]float64, n)
+		var e1 float64
+		for i := range re {
+			re[i] = r.NormFloat64()
+			im[i] = r.NormFloat64()
+			e1 += re[i]*re[i] + im[i]*im[i]
+		}
+		fft1d(re, im)
+		var e2 float64
+		for i := range re {
+			e2 += re[i]*re[i] + im[i]*im[i]
+		}
+		return math.Abs(e2-float64(n)*e1) < 1e-6*(1+e2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqDeterministic(t *testing.T) {
+	cfg := Small()
+	_, a, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Check(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Sum == 0 {
+		t.Fatal("degenerate checksum")
+	}
+}
+
+func TestTMKMatchesSequential(t *testing.T) {
+	cfg := Small()
+	_, want, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		_, got, err := RunTMK(cfg, core.Default(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := want.Check(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestPVMMatchesSequential(t *testing.T) {
+	cfg := Small()
+	_, want, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		_, got, err := RunPVM(cfg, core.Default(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := want.Check(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// Release consistency means TreadMarks moves about the same amount of
+// data as PVM in the transpose, but through many more (page-sized diff)
+// messages — the paper's FFT observation.
+func TestSimilarDataManyMoreMessages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	cfg := Paper()
+	cfg.Iters = 4 // the first iteration reads preloaded data (no traffic)
+	const n = 8
+	pvmRes, _, err := RunPVM(cfg, core.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmkRes, _, err := RunTMK(cfg, core.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataRatio := float64(tmkRes.Net.Bytes) / float64(pvmRes.Net.Bytes)
+	// TreadMarks pays no traffic on the first (preloaded) iteration, so
+	// over 4 iterations the expected ratio is ~3/4.
+	if dataRatio < 0.5 || dataRatio > 2.0 {
+		t.Errorf("data ratio %.2f, want ~1 (release consistency)", dataRatio)
+	}
+	msgRatio := float64(tmkRes.Net.Messages) / float64(pvmRes.Net.Messages)
+	if msgRatio < 5 {
+		t.Errorf("message ratio %.1f, want many more in TreadMarks", msgRatio)
+	}
+}
+
+// Paper-scale: TreadMarks reaches ~80% of PVM's speedup at 8 processors.
+func TestPaperScaleGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	cfg := Paper()
+	cfg.Iters = 3
+	pvmRes, pvmOut, err := RunPVM(cfg, core.Default(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmkRes, tmkOut, err := RunTMK(cfg, core.Default(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pvmOut.Check(tmkOut); err != nil {
+		t.Fatal(err)
+	}
+	gap := tmkRes.Time.Seconds() / pvmRes.Time.Seconds()
+	if gap < 1.02 || gap > 1.6 {
+		t.Fatalf("gap %.3f (tmk %.2fs pvm %.2fs), want ~1.25",
+			gap, tmkRes.Time.Seconds(), pvmRes.Time.Seconds())
+	}
+}

@@ -1,0 +1,114 @@
+package ilink
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParentNonzerosDeterministic(t *testing.T) {
+	cfg := Small()
+	a := cfg.parentNonzeros(1)
+	b := cfg.parentNonzeros(1)
+	if len(a) == 0 {
+		t.Fatal("no nonzeros")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic nonzeros")
+		}
+	}
+	// Positions strictly increasing and inside the cluster.
+	start := cfg.clusterStart(1, 0)
+	for i, g := range a {
+		if i > 0 && g <= a[i-1] {
+			t.Fatal("not increasing")
+		}
+		if int(g) < start || int(g) >= start+cfg.Cluster {
+			t.Fatalf("position %d outside cluster [%d,%d)", g, start, start+cfg.Cluster)
+		}
+	}
+}
+
+func TestSeqDeterministic(t *testing.T) {
+	cfg := Small()
+	_, a, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Check(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.LogLike == 0 {
+		t.Fatal("degenerate output")
+	}
+}
+
+func TestTMKMatchesSequential(t *testing.T) {
+	cfg := Small()
+	_, want, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		_, got, err := RunTMK(cfg, core.Default(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := want.Check(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestPVMMatchesSequential(t *testing.T) {
+	cfg := Small()
+	_, want, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		_, got, err := RunPVM(cfg, core.Default(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := want.Check(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// The paper: ILINK's high computation-to-communication ratio keeps
+// TreadMarks within ~10% of PVM; per-page diff requests still make it
+// send several times more messages.
+func TestPaperScaleGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	cfg := Paper()
+	cfg.Families = 6
+	pvmRes, pvmOut, err := RunPVM(cfg, core.Default(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmkRes, tmkOut, err := RunTMK(cfg, core.Default(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pvmOut.Check(tmkOut); err != nil {
+		t.Fatal(err)
+	}
+	gap := tmkRes.Time.Seconds() / pvmRes.Time.Seconds()
+	if gap > 1.25 {
+		t.Fatalf("gap %.3f (tmk %.2fs pvm %.2fs), want within ~10-15%%",
+			gap, tmkRes.Time.Seconds(), pvmRes.Time.Seconds())
+	}
+	if tmkRes.Net.Messages < 2*pvmRes.Net.Messages {
+		t.Fatalf("message ratio %.1f, want several times more in TreadMarks",
+			float64(tmkRes.Net.Messages)/float64(pvmRes.Net.Messages))
+	}
+}

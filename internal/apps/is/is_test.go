@@ -1,0 +1,150 @@
+package is
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSeqDeterministic(t *testing.T) {
+	cfg := Small()
+	_, a, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Check(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.BucketSum == 0 || a.RankSum == 0 {
+		t.Fatalf("degenerate output %+v", a)
+	}
+}
+
+func TestTMKMatchesSequential(t *testing.T) {
+	cfg := Small()
+	_, want, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 8} {
+		_, got, err := RunTMK(cfg, core.Default(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := want.Check(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestPVMMatchesSequential(t *testing.T) {
+	cfg := Small()
+	_, want, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 5, 8} {
+		_, got, err := RunPVM(cfg, core.Default(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := want.Check(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// PVM messages per iteration: (n-1) chain + (n-1) broadcast.
+func TestPVMMessageCount(t *testing.T) {
+	cfg := Small()
+	const n = 8
+	res, _, err := RunPVM(cfg, core.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(cfg.Iters * 2 * (n - 1))
+	if res.Net.Messages != want {
+		t.Fatalf("messages = %d, want %d", res.Net.Messages, want)
+	}
+}
+
+// The diff-accumulation law (paper §3.5): per iteration PVM moves
+// 2*(n-1)*b of bucket data while TreadMarks moves about n*(n-1)*b, so the
+// data ratio approaches n/2.
+func TestDiffAccumulationDataRatio(t *testing.T) {
+	cfg := PaperLarge()
+	cfg.Iters = 3 // ratio per iteration is stable
+	const n = 8
+	pvmRes, _, err := RunPVM(cfg, core.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmkRes, _, err := RunTMK(cfg, core.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(tmkRes.Net.Bytes) / float64(pvmRes.Net.Bytes)
+	// The law predicts n/2 = 4 at full diff density; the centered key
+	// distribution thins the tail pages, so ~3 is expected.
+	if ratio < 2.2 || ratio > 6.5 {
+		t.Fatalf("data ratio = %.2f (tmk=%d pvm=%d), want ~n/2=4",
+			ratio, tmkRes.Net.Bytes, pvmRes.Net.Bytes)
+	}
+}
+
+// IS-Large at 8 processors: PVM outperforms TreadMarks by about 2x
+// (the paper's headline negative result for DSM).
+func TestISLargePVMTwiceAsFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	cfg := PaperLarge()
+	cfg.Iters = 5
+	const n = 8
+	pvmRes, _, err := RunPVM(cfg, core.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmkRes, _, err := RunTMK(cfg, core.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := tmkRes.Time.Seconds() / pvmRes.Time.Seconds()
+	if gap < 1.5 {
+		t.Fatalf("IS-Large gap = %.2fx (tmk %.3fs pvm %.3fs), want ~2x",
+			gap, tmkRes.Time.Seconds(), pvmRes.Time.Seconds())
+	}
+	if gap > 3.0 {
+		t.Fatalf("IS-Large gap = %.2fx implausibly large", gap)
+	}
+}
+
+// IS-Small: bucket array fits in one page, so TreadMarks' penalty is much
+// smaller than IS-Large's 32-page penalty.
+func TestISSmallCloserThanISLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	gap := func(cfg Config) float64 {
+		cfg.Iters = 5
+		const n = 8
+		pvmRes, _, err := RunPVM(cfg, core.Default(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tmkRes, _, err := RunTMK(cfg, core.Default(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tmkRes.Time.Seconds() / pvmRes.Time.Seconds()
+	}
+	smallGap := gap(PaperSmall())
+	largeGap := gap(PaperLarge())
+	if smallGap >= largeGap {
+		t.Fatalf("small gap %.2f should beat large gap %.2f", smallGap, largeGap)
+	}
+}

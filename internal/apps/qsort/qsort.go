@@ -1,0 +1,396 @@
+// Package qsort implements the parallel quicksort of the paper (§3.7):
+// a work queue holds descriptors of unsorted subarrays; workers pop a
+// subarray, partition it (pushing the pieces back on the queue), and
+// bubble-sort it once it is below a threshold.
+//
+// In the TreadMarks version the integer list and the work queue are
+// shared, with queue access protected by a lock; subarrays and the queue
+// migrate between processors, producing the diff requests, false sharing
+// at subarray boundaries, and diff accumulation the paper reports.  In
+// the PVM version a master process owns the list and the queue; slaves
+// receive subarray data, partition or sort it, and ship it back.
+package qsort
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/pvm"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+)
+
+// Config describes one sorting problem.
+type Config struct {
+	N         int // number of integers (the paper: 256K)
+	Threshold int // bubble-sort threshold (the paper: 1024)
+	Seed      uint64
+
+	PartCost   sim.Time // per element partitioned
+	BubbleCost sim.Time // per bubble-sort comparison
+}
+
+// Paper returns the paper-scale problem.
+func Paper() Config {
+	return Config{N: 256 * 1024, Threshold: 1024, Seed: 141421,
+		PartCost: 250 * sim.Nanosecond, BubbleCost: 150 * sim.Nanosecond}
+}
+
+// Small returns a CI-sized problem.
+func Small() Config {
+	return Config{N: 4096, Threshold: 256, Seed: 141421,
+		PartCost: 250 * sim.Nanosecond, BubbleCost: 150 * sim.Nanosecond}
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// input generates the deterministic unsorted list.
+func (c Config) input() []int32 {
+	v := make([]int32, c.N)
+	for i := range v {
+		v[i] = int32(splitmix64(c.Seed+uint64(i)) & 0x7FFFFFFF)
+	}
+	return v
+}
+
+// Output is the verification checksum over the sorted array.
+type Output struct {
+	Checksum int64
+	Sorted   bool
+}
+
+// Check compares outputs exactly.
+func (o Output) Check(other Output) error {
+	if o != other {
+		return fmt.Errorf("qsort: output %+v vs %+v", o, other)
+	}
+	return nil
+}
+
+func checksum(v []int32) Output {
+	var s int64
+	sorted := true
+	for i, x := range v {
+		s += int64(x) * int64(i%1000+1)
+		if i > 0 && v[i-1] > x {
+			sorted = false
+		}
+	}
+	return Output{Checksum: s, Sorted: sorted}
+}
+
+// partition performs a deterministic Hoare-style partition with a
+// median-of-three pivot, returning the split point (elements [0,m) <=
+// pivot <= elements [m, len)); m is always in (0, len).
+func partition(v []int32) int {
+	n := len(v)
+	a, b, c := v[0], v[n/2], v[n-1]
+	pivot := a
+	if (a <= b && b <= c) || (c <= b && b <= a) {
+		pivot = b
+	} else if (b <= a && a <= c) || (c <= a && a <= b) {
+		pivot = a
+	} else {
+		pivot = c
+	}
+	i, j := 0, n-1
+	for {
+		for v[i] < pivot {
+			i++
+		}
+		for v[j] > pivot {
+			j--
+		}
+		if i >= j {
+			break
+		}
+		v[i], v[j] = v[j], v[i]
+		i++
+		j--
+	}
+	m := j + 1
+	if m <= 0 {
+		m = 1
+	}
+	if m >= n {
+		m = n - 1
+	}
+	return m
+}
+
+// bubble sorts v in place and returns the comparison count.
+func bubble(v []int32) int64 {
+	var ops int64
+	n := len(v)
+	for {
+		swapped := false
+		for i := 1; i < n; i++ {
+			ops++
+			if v[i-1] > v[i] {
+				v[i-1], v[i] = v[i], v[i-1]
+				swapped = true
+			}
+		}
+		n--
+		if !swapped || n <= 1 {
+			return ops
+		}
+	}
+}
+
+// RunSeq runs the sequential program (explicit stack of subarrays).
+func RunSeq(cfg Config) (core.Result, Output, error) {
+	var out Output
+	res, err := core.RunSeq(func(ctx *sim.Ctx) {
+		v := cfg.input()
+		type rng struct{ lo, hi int }
+		stack := []rng{{0, cfg.N}}
+		for len(stack) > 0 {
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			sub := v[r.lo:r.hi]
+			if len(sub) <= cfg.Threshold {
+				ops := bubble(sub)
+				ctx.Compute(sim.Time(ops) * cfg.BubbleCost)
+				continue
+			}
+			m := partition(sub)
+			ctx.Compute(sim.Time(len(sub)) * cfg.PartCost)
+			stack = append(stack, rng{r.lo, r.lo + m}, rng{r.lo + m, r.hi})
+		}
+		out = checksum(v)
+	})
+	return res, out, err
+}
+
+// leafSink collects sorted leaves out of band for verification.
+type leafSink struct {
+	leaves map[int][]int32
+}
+
+func newSink() *leafSink { return &leafSink{leaves: map[int][]int32{}} }
+
+func (s *leafSink) add(lo int, vals []int32) {
+	s.leaves[lo] = append([]int32(nil), vals...)
+}
+
+func (s *leafSink) assemble(n int) Output {
+	offs := make([]int, 0, len(s.leaves))
+	for lo := range s.leaves {
+		offs = append(offs, lo)
+	}
+	sort.Ints(offs)
+	v := make([]int32, 0, n)
+	for _, lo := range offs {
+		if lo != len(v) {
+			return Output{} // gap or overlap: verification fails loudly
+		}
+		v = append(v, s.leaves[lo]...)
+	}
+	if len(v) != n {
+		return Output{}
+	}
+	return checksum(v)
+}
+
+// Shared layout for the TreadMarks version.
+const (
+	lockQueue = 0
+	maxQueue  = 8192
+)
+
+// RunTMK runs the TreadMarks version: list and work queue shared, queue
+// under a lock, termination via a shared done-count.
+func RunTMK(cfg Config, ccfg core.Config) (core.Result, Output, error) {
+	var listA, headA, queueA tmk.Addr
+	sink := newSink()
+	res, err := core.RunTMK(ccfg,
+		func(sys *tmk.System) {
+			listA = sys.MallocPageAligned(4 * cfg.N)
+			headA = sys.MallocPageAligned(8) // qcount, doneCount (int32 x2)
+			queueA = sys.MallocPageAligned(8 * maxQueue)
+			sys.InitI32(listA, cfg.input())
+			sys.InitI32(headA, []int32{1, 0})
+			sys.InitI64(queueA, []int64{int64(cfg.N)}) // (lo=0)<<32 | hi=N... lo in high half
+		},
+		func(p *tmk.Proc) {
+			list := p.I32Array(listA, cfg.N)
+			queue := p.I64Array(queueA, maxQueue)
+			buf := make([]int32, cfg.N)
+			for {
+				p.LockAcquire(lockQueue)
+				qc := p.ReadI32(headA)
+				done := p.ReadI32(headA + 4)
+				if qc == 0 {
+					p.LockRelease(lockQueue)
+					if int(done) == cfg.N {
+						break
+					}
+					p.Compute(500 * sim.Microsecond) // idle backoff, then re-poll
+					continue
+				}
+				ent := queue.At(int(qc) - 1)
+				p.WriteI32(headA, qc-1)
+				p.LockRelease(lockQueue)
+				lo := int(ent >> 32)
+				hi := int(ent & 0xFFFFFFFF)
+				sub := buf[:hi-lo]
+				list.Load(sub, lo, hi)
+				if hi-lo <= cfg.Threshold {
+					ops := bubble(sub)
+					p.Compute(sim.Time(ops) * cfg.BubbleCost)
+					list.Store(sub, lo)
+					sink.add(lo, sub)
+					p.LockAcquire(lockQueue)
+					p.WriteI32(headA+4, p.ReadI32(headA+4)+int32(hi-lo))
+					p.LockRelease(lockQueue)
+					continue
+				}
+				m := partition(sub)
+				p.Compute(sim.Time(hi-lo) * cfg.PartCost)
+				list.Store(sub, lo)
+				// Reacquire the queue to push the two new subarrays.
+				p.LockAcquire(lockQueue)
+				qc = p.ReadI32(headA)
+				if int(qc)+2 > maxQueue {
+					panic("qsort: work queue overflow")
+				}
+				queue.Set(int(qc), int64(lo)<<32|int64(lo+m))
+				queue.Set(int(qc)+1, int64(lo+m)<<32|int64(hi))
+				p.WriteI32(headA, qc+2)
+				p.LockRelease(lockQueue)
+			}
+			p.Barrier(0)
+		})
+	return res, sink.assemble(cfg.N), err
+}
+
+// PVM message tags.
+const (
+	tagWorkReq = 1
+	tagWork    = 2 // kind, lo, data (kind 0 = done)
+	tagLeaf    = 3 // sorted leaf: lo, data
+	tagSplit   = 4 // partitioned subarray: lo, m, data
+)
+
+// RunPVM runs the master/slave PVM version.
+func RunPVM(cfg Config, ccfg core.Config) (core.Result, Output, error) {
+	sink := newSink()
+	n := ccfg.Procs
+	res, err := core.RunPVM(ccfg,
+		func(p *pvm.Proc) { // slave
+			master := n
+			for {
+				b := p.InitSend()
+				b.PackOneInt32(int32(p.ID()))
+				p.Send(master, tagWorkReq)
+				r := p.Recv(master, tagWork)
+				kind := r.UnpackOneInt32()
+				if kind == 0 {
+					return
+				}
+				lo := int(r.UnpackOneInt32())
+				ln := int(r.UnpackOneInt32())
+				sub := make([]int32, ln)
+				r.UnpackInt32(sub, ln, 1)
+				if ln <= cfg.Threshold {
+					ops := bubble(sub)
+					p.Compute(sim.Time(ops) * cfg.BubbleCost)
+					b := p.InitSend()
+					b.PackOneInt32(int32(lo))
+					b.PackOneInt32(int32(ln))
+					b.PackInt32(sub, ln, 1)
+					p.Send(master, tagLeaf)
+				} else {
+					m := partition(sub)
+					p.Compute(sim.Time(ln) * cfg.PartCost)
+					b := p.InitSend()
+					b.PackOneInt32(int32(lo))
+					b.PackOneInt32(int32(m))
+					b.PackOneInt32(int32(ln))
+					b.PackInt32(sub, ln, 1)
+					p.Send(master, tagSplit)
+				}
+			}
+		},
+		func(p *pvm.Proc) { // master: owns the list and the work queue
+			v := cfg.input()
+			type rng struct{ lo, hi int }
+			queue := []rng{{0, cfg.N}}
+			waiting := []int{}
+			outstanding := 0
+			doneCount := 0
+			doneSlaves := 0
+			sendWork := func(slave int) {
+				r := queue[len(queue)-1]
+				queue = queue[:len(queue)-1]
+				b := p.InitSend()
+				b.PackOneInt32(1)
+				b.PackOneInt32(int32(r.lo))
+				b.PackOneInt32(int32(r.hi - r.lo))
+				b.PackInt32(v[r.lo:r.hi], r.hi-r.lo, 1)
+				p.Send(slave, tagWork)
+				outstanding++
+			}
+			sendDone := func(slave int) {
+				b := p.InitSend()
+				b.PackOneInt32(0)
+				p.Send(slave, tagWork)
+				doneSlaves++
+			}
+			serveWaiting := func() {
+				for len(waiting) > 0 && len(queue) > 0 {
+					s := waiting[0]
+					waiting = waiting[1:]
+					sendWork(s)
+				}
+				if len(queue) == 0 && outstanding == 0 && doneCount == cfg.N {
+					for _, s := range waiting {
+						sendDone(s)
+					}
+					waiting = nil
+				}
+			}
+			for doneSlaves < n {
+				r := p.Recv(-1, -1)
+				switch r.Tag() {
+				case tagWorkReq:
+					slave := int(r.UnpackOneInt32())
+					if len(queue) > 0 {
+						sendWork(slave)
+					} else if outstanding == 0 && doneCount == cfg.N {
+						sendDone(slave)
+					} else {
+						waiting = append(waiting, slave)
+					}
+				case tagLeaf:
+					lo := int(r.UnpackOneInt32())
+					ln := int(r.UnpackOneInt32())
+					sub := make([]int32, ln)
+					r.UnpackInt32(sub, ln, 1)
+					copy(v[lo:lo+ln], sub)
+					sink.add(lo, sub)
+					doneCount += ln
+					outstanding--
+					serveWaiting()
+				case tagSplit:
+					lo := int(r.UnpackOneInt32())
+					m := int(r.UnpackOneInt32())
+					ln := int(r.UnpackOneInt32())
+					sub := make([]int32, ln)
+					r.UnpackInt32(sub, ln, 1)
+					copy(v[lo:lo+ln], sub)
+					queue = append(queue, rng{lo, lo + m}, rng{lo + m, lo + ln})
+					outstanding--
+					serveWaiting()
+				}
+			}
+		})
+	return res, sink.assemble(cfg.N), err
+}

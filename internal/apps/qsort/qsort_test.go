@@ -1,0 +1,172 @@
+package qsort
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestPartitionProperty(t *testing.T) {
+	f := func(vals []int32) bool {
+		if len(vals) < 2 {
+			return true
+		}
+		v := append([]int32(nil), vals...)
+		m := partition(v)
+		if m <= 0 || m >= len(v) {
+			return false
+		}
+		max := v[0]
+		for _, x := range v[:m] {
+			if x > max {
+				max = x
+			}
+		}
+		for _, x := range v[m:] {
+			if x < max {
+				return false
+			}
+		}
+		// Multiset preserved.
+		count := map[int32]int{}
+		for _, x := range vals {
+			count[x]++
+		}
+		for _, x := range v {
+			count[x]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBubbleSortsProperty(t *testing.T) {
+	f := func(vals []int32) bool {
+		v := append([]int32(nil), vals...)
+		bubble(v)
+		for i := 1; i < len(v); i++ {
+			if v[i-1] > v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqSorts(t *testing.T) {
+	cfg := Small()
+	_, out, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Sorted {
+		t.Fatal("sequential result not sorted")
+	}
+	if out.Checksum == 0 {
+		t.Fatal("degenerate checksum")
+	}
+}
+
+func TestTMKMatchesSequential(t *testing.T) {
+	cfg := Small()
+	_, want, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		_, got, err := RunTMK(cfg, core.Default(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !got.Sorted {
+			t.Fatalf("n=%d: not sorted", n)
+		}
+		if err := want.Check(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestPVMMatchesSequential(t *testing.T) {
+	cfg := Small()
+	_, want, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		_, got, err := RunPVM(cfg, core.Default(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := want.Check(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// Diff requests dominate TreadMarks traffic here (paper: ~5x more
+// messages than PVM; most are diff requests and responses).
+func TestTMKManyMoreMessages(t *testing.T) {
+	cfg := Small()
+	const n = 4
+	pvmRes, _, err := RunPVM(cfg, core.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmkRes, _, err := RunTMK(cfg, core.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmkRes.Net.Messages <= pvmRes.Net.Messages {
+		t.Fatalf("tmk %d msgs <= pvm %d msgs", tmkRes.Net.Messages, pvmRes.Net.Messages)
+	}
+	if tmkRes.DiffRequests == 0 {
+		t.Fatal("expected diff requests for migrating subarrays")
+	}
+}
+
+// Paper-scale: TreadMarks reaches 70-95% of PVM's speedup (the paper
+// reports a ~20% difference at 8 processors).
+func TestPaperScaleGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	cfg := Paper()
+	seq, want, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pvmRes, pvmOut, err := RunPVM(cfg, core.Default(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmkRes, tmkOut, err := RunTMK(cfg, core.Default(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := want.Check(pvmOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.Check(tmkOut); err != nil {
+		t.Fatal(err)
+	}
+	sp := seq.Time.Seconds() / pvmRes.Time.Seconds()
+	st := seq.Time.Seconds() / tmkRes.Time.Seconds()
+	if st > sp {
+		t.Errorf("tmk speedup %.2f should trail pvm %.2f", st, sp)
+	}
+	if st < 0.5*sp {
+		t.Errorf("tmk speedup %.2f below half of pvm %.2f", st, sp)
+	}
+}

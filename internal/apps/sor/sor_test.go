@@ -1,0 +1,150 @@
+package sor
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSeqDeterministic(t *testing.T) {
+	for _, zero := range []bool{true, false} {
+		cfg := Small(zero)
+		_, a, err := RunSeq(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, b, err := RunSeq(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Check(b); err != nil {
+			t.Fatalf("zero=%v: %v", zero, err)
+		}
+		if a.Checksum == 0 {
+			t.Fatalf("zero=%v: degenerate checksum", zero)
+		}
+	}
+}
+
+func TestTMKMatchesSequential(t *testing.T) {
+	for _, zero := range []bool{true, false} {
+		cfg := Small(zero)
+		_, want, err := RunSeq(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{1, 2, 4, 8} {
+			_, got, err := RunTMK(cfg, core.Default(n))
+			if err != nil {
+				t.Fatalf("zero=%v n=%d: %v", zero, n, err)
+			}
+			if err := want.Check(got); err != nil {
+				t.Fatalf("zero=%v n=%d: %v", zero, n, err)
+			}
+		}
+	}
+}
+
+func TestPVMMatchesSequential(t *testing.T) {
+	for _, zero := range []bool{true, false} {
+		cfg := Small(zero)
+		_, want, err := RunSeq(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{1, 2, 4, 8} {
+			_, got, err := RunPVM(cfg, core.Default(n))
+			if err != nil {
+				t.Fatalf("zero=%v n=%d: %v", zero, n, err)
+			}
+			if err := want.Check(got); err != nil {
+				t.Fatalf("zero=%v n=%d: %v", zero, n, err)
+			}
+		}
+	}
+}
+
+// The paper's message accounting: per color sweep, PVM sends 2*(n-1)
+// messages; TreadMarks sends 2*(n-1) for the barrier plus ~8*(n-1) to
+// page in the boundary-row diffs, about 5x more.
+func TestMessageRatioNearFive(t *testing.T) {
+	cfg := Small(false)
+	cfg.Sweeps = 10
+	const n = 8
+	pvmRes, _, err := RunPVM(cfg, core.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmkRes, _, err := RunTMK(cfg, core.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PVM: 2*(n-1) per sweep plus n-1 residual messages.
+	wantPVM := int64(cfg.Sweeps*2*(n-1) + (n - 1))
+	if pvmRes.Net.Messages != wantPVM {
+		t.Errorf("pvm messages = %d, want %d", pvmRes.Net.Messages, wantPVM)
+	}
+	ratio := float64(tmkRes.Net.Messages) / float64(pvmRes.Net.Messages)
+	if ratio < 3.5 || ratio > 7 {
+		t.Errorf("tmk/pvm message ratio = %.2f (tmk=%d pvm=%d), want ~5",
+			ratio, tmkRes.Net.Messages, pvmRes.Net.Messages)
+	}
+}
+
+// SOR-Zero: most of the matrix stays zero, so TreadMarks diffs are tiny
+// and it ships *less* data than PVM (which sends whole rows regardless).
+func TestZeroCaseTMKSendsLessData(t *testing.T) {
+	cfg := Small(true)
+	const n = 4
+	pvmRes, _, err := RunPVM(cfg, core.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmkRes, _, err := RunTMK(cfg, core.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmkRes.Net.Bytes >= pvmRes.Net.Bytes {
+		t.Fatalf("tmk bytes = %d, pvm bytes = %d: TreadMarks should send less on SOR-Zero",
+			tmkRes.Net.Bytes, pvmRes.Net.Bytes)
+	}
+}
+
+// SOR-Zero runs slower sequentially than SOR-Nonzero (underflow traps),
+// and exhibits load imbalance that hurts both systems' speedups.
+func TestZeroSlowerThanNonzero(t *testing.T) {
+	zRes, _, err := RunSeq(Small(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nzRes, _, err := RunSeq(Small(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zRes.Time <= nzRes.Time {
+		t.Fatalf("zero %v should be slower than nonzero %v", zRes.Time, nzRes.Time)
+	}
+}
+
+// TreadMarks stays close to PVM on SOR at paper-like scale (the paper
+// reports within ~10%); at 8 processors the gap must not blow up.
+func TestTMKWithinReasonOfPVM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	cfg := Paper(false)
+	cfg.Sweeps = 10 // half the sweeps to keep the test quick; ratio per sweep unchanged
+	const n = 8
+	pvmRes, _, err := RunPVM(cfg, core.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmkRes, _, err := RunTMK(cfg, core.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := tmkRes.Time.Seconds() / pvmRes.Time.Seconds()
+	if gap > 1.25 {
+		t.Fatalf("tmk %.3fs vs pvm %.3fs: gap %.2fx too large", tmkRes.Time.Seconds(), pvmRes.Time.Seconds(), gap)
+	}
+}

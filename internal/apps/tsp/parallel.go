@@ -1,0 +1,410 @@
+package tsp
+
+import (
+	"repro/internal/core"
+	"repro/internal/pvm"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+)
+
+// Shared-memory capacity: the tour pool holds this many records; when the
+// pool is exhausted, get_tour hands the current partial path to the solver
+// instead of extending it (bounded memory, same optimum).  Sized so the
+// best-first frontier of the paper-scale instance fits without overflow.
+const maxPool = 32768
+
+const (
+	lockQueue = 0
+	lockBest  = 1
+)
+
+// tmkLayout is the shared-memory layout of the TreadMarks version.
+// The four major structures sit on distinct pages, so a get_tour takes at
+// least three page faults when the structures last migrated elsewhere.
+type tmkLayout struct {
+	head  tmk.Addr // qsize, stackTop (int32 x2)
+	best  tmk.Addr // current shortest tour length (int32)
+	queue tmk.Addr // binary heap of int64 (bound<<20 | pool index)
+	stack tmk.Addr // free pool slots (int32)
+	pool  tmk.Addr // tour records: [len, length, cities...] int32
+}
+
+func (c Config) recInts() int { return 2 + c.Cities }
+
+func layoutTMK(sys *tmk.System, cfg Config) tmkLayout {
+	var l tmkLayout
+	l.head = sys.MallocPageAligned(8)
+	l.best = sys.MallocPageAligned(4)
+	l.queue = sys.MallocPageAligned(8 * maxPool)
+	l.stack = sys.MallocPageAligned(4 * maxPool)
+	l.pool = sys.MallocPageAligned(4 * maxPool * cfg.recInts())
+	// Initial state: all slots free, queue holds the root tour {0}.
+	// Slot 0 holds the root tour; slots 1..maxPool-1 are free, stacked so
+	// that allocSlot hands out slot 1 first.
+	stack := make([]int32, maxPool)
+	for i := 0; i < maxPool-1; i++ {
+		stack[i] = int32(maxPool - 1 - i)
+	}
+	sys.InitI32(l.stack, stack)
+	sys.InitI32(l.head, []int32{1, int32(maxPool - 2)}) // qsize=1, stack top index
+	root := make([]int32, cfg.recInts())
+	root[0] = 1 // len
+	root[1] = 0 // length
+	root[2] = 0 // city 0
+	sys.InitI32(l.pool, root)
+	sys.InitI64(l.queue, []int64{0<<20 /* bound 0 */ | 0 /* slot 0 */})
+	// The search starts from the greedy tour bound, as in the sequential
+	// and PVM versions.
+	sys.InitI32(l.best, []int32{newSolver(cfg).greedy()})
+	return l
+}
+
+// tmkWorker wraps shared-heap operations for one processor.
+type tmkWorker struct {
+	p   *tmk.Proc
+	cfg Config
+	s   *solver
+	l   tmkLayout
+	q   tmk.I64Array
+	st  tmk.I32Array
+	pl  tmk.I32Array
+}
+
+func (w *tmkWorker) qsize() int32     { return w.p.ReadI32(w.l.head) }
+func (w *tmkWorker) setQsize(v int32) { w.p.WriteI32(w.l.head, v) }
+func (w *tmkWorker) stackTop() int32  { return w.p.ReadI32(w.l.head + 4) }
+func (w *tmkWorker) setTop(v int32)   { w.p.WriteI32(w.l.head+4, v) }
+
+// heapPush inserts (bound, slot) into the shared priority queue.
+func (w *tmkWorker) heapPush(bound int32, slot int32) {
+	n := w.qsize()
+	v := int64(bound)<<20 | int64(slot)
+	w.q.Set(int(n), v)
+	i := int(n)
+	for i > 0 {
+		p := (i - 1) / 2
+		pv := w.q.At(p)
+		if pv>>20 <= v>>20 {
+			break
+		}
+		w.q.Set(i, pv)
+		w.q.Set(p, v)
+		i = p
+	}
+	w.setQsize(n + 1)
+	w.p.Compute(w.cfg.QueueCost)
+}
+
+// heapPop removes the most promising entry.
+func (w *tmkWorker) heapPop() (int32, int32) {
+	n := int(w.qsize())
+	top := w.q.At(0)
+	last := w.q.At(n - 1)
+	w.setQsize(int32(n - 1))
+	n--
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		mv := last
+		if l < n {
+			if lv := w.q.At(l); lv>>20 < mv>>20 {
+				m, mv = l, lv
+			}
+		}
+		if r < n {
+			if rv := w.q.At(r); rv>>20 < mv>>20 {
+				m, mv = r, rv
+			}
+		}
+		if m == i {
+			break
+		}
+		w.q.Set(i, mv)
+		i = m
+	}
+	if n > 0 {
+		w.q.Set(i, last)
+	}
+	w.p.Compute(w.cfg.QueueCost)
+	return int32(top >> 20), int32(top & 0xFFFFF)
+}
+
+// allocSlot pops a free pool slot, or -1 if the pool is exhausted.
+func (w *tmkWorker) allocSlot() int32 {
+	t := w.stackTop()
+	if t < 0 {
+		return -1
+	}
+	slot := w.st.At(int(t))
+	w.setTop(t - 1)
+	return slot
+}
+
+func (w *tmkWorker) freeSlot(slot int32) {
+	t := w.stackTop() + 1
+	w.st.Set(int(t), slot)
+	w.setTop(t)
+}
+
+// readTour copies a pool record into local memory.
+func (w *tmkWorker) readTour(slot int32) (path []int32, length int32) {
+	base := int(slot) * w.cfg.recInts()
+	n := int(w.pl.At(base))
+	length = w.pl.At(base + 1)
+	path = make([]int32, n)
+	for i := 0; i < n; i++ {
+		path[i] = w.pl.At(base + 2 + i)
+	}
+	return path, length
+}
+
+func (w *tmkWorker) writeTour(slot int32, path []int32, length int32) {
+	base := int(slot) * w.cfg.recInts()
+	w.pl.Set(base, int32(len(path)))
+	w.pl.Set(base+1, length)
+	for i, c := range path {
+		w.pl.Set(base+2+i, c)
+	}
+}
+
+// getTour implements the paper's get_tour under the queue lock: it
+// returns a solvable path, or nil when the queue is empty.
+func (w *tmkWorker) getTour() ([]int32, int32) {
+	w.p.LockAcquire(lockQueue)
+	defer w.p.LockRelease(lockQueue)
+	for {
+		if w.qsize() == 0 {
+			return nil, 0
+		}
+		bound, slot := w.heapPop()
+		path, length := w.readTour(slot)
+		w.freeSlot(slot)
+		best := w.p.ReadI32(w.l.best)
+		if bound >= best {
+			continue // pruned: a better tour appeared since insertion
+		}
+		if len(path) >= w.cfg.returnLen() {
+			return path, length
+		}
+		// Extend by one city; push the promising children.
+		visited := uint32(0)
+		for _, c := range path {
+			visited |= 1 << uint(c)
+		}
+		lastC := path[len(path)-1]
+		overflow := false
+		for c := int32(0); c < int32(w.cfg.Cities); c++ {
+			if visited&(1<<uint(c)) != 0 {
+				continue
+			}
+			nl := length + w.s.d[lastC][c]
+			np := append(append([]int32(nil), path...), c)
+			nb := w.s.lowerBound(np, nl)
+			w.p.Compute(w.cfg.BoundCost)
+			if nb >= best {
+				continue
+			}
+			ns := w.allocSlot()
+			if ns < 0 {
+				overflow = true
+				break
+			}
+			w.writeTour(ns, np, nl)
+			w.heapPush(nb, ns)
+		}
+		if overflow {
+			// Pool exhausted: solve this partial path directly.
+			return path, length
+		}
+	}
+}
+
+// bestTMK records improvements found by any processor (verification
+// collector, outside the simulation's accounting).
+var bestTMK int32
+
+// RunTMK runs the TreadMarks version.
+func RunTMK(cfg Config, ccfg core.Config) (core.Result, Output, error) {
+	var l tmkLayout
+	s := newSolver(cfg)
+	bestTMK = s.greedy()
+	res, err := core.RunTMK(ccfg,
+		func(sys *tmk.System) { l = layoutTMK(sys, cfg) },
+		func(p *tmk.Proc) {
+			w := &tmkWorker{p: p, cfg: cfg, s: s, l: l,
+				q:  p.I64Array(l.queue, maxPool),
+				st: p.I32Array(l.stack, maxPool),
+				pl: p.I32Array(l.pool, maxPool*cfg.recInts()),
+			}
+			for {
+				path, length := w.getTour()
+				if path == nil {
+					break
+				}
+				localBest := p.ReadI32(l.best)
+				var nodes int64
+				found := s.recursiveSolve(path, length, localBest, &nodes)
+				p.Compute(sim.Time(nodes) * cfg.NodeCost)
+				if found < localBest {
+					// Update the shortest tour under its lock.
+					p.LockAcquire(lockBest)
+					if cur := p.ReadI32(l.best); found < cur {
+						p.WriteI32(l.best, found)
+						if found < bestTMK {
+							bestTMK = found
+						}
+					}
+					p.LockRelease(lockBest)
+				}
+			}
+			p.Barrier(0)
+		})
+	return res, Output{Best: bestTMK}, err
+}
+
+// PVM message tags.
+const (
+	tagWorkReq = 1
+	tagWork    = 2 // tour assignment (or empty = done)
+	tagUpdate  = 3
+)
+
+// bestPVM is the PVM verification collector.
+var bestPVM int32
+
+// RunPVM runs the PVM master/slave version: the master keeps all tour
+// structures private; slaves request solvable tours and report improved
+// shortest tours.
+func RunPVM(cfg Config, ccfg core.Config) (core.Result, Output, error) {
+	s := newSolver(cfg)
+	bestPVM = s.greedy()
+	n := ccfg.Procs
+	res, err := core.RunPVM(ccfg,
+		func(p *pvm.Proc) { // slave
+			master := n // the extra process id
+			for {
+				b := p.InitSend()
+				b.PackOneInt32(int32(p.ID()))
+				p.Send(master, tagWorkReq)
+				r := p.Recv(master, tagWork)
+				ln := int(r.UnpackOneInt32())
+				if ln == 0 {
+					return // done
+				}
+				path := make([]int32, ln)
+				r.UnpackInt32(path, ln, 1)
+				length := r.UnpackOneInt32()
+				best := r.UnpackOneInt32()
+				var nodes int64
+				found := s.recursiveSolve(path, length, best, &nodes)
+				p.Compute(sim.Time(nodes) * cfg.NodeCost)
+				if found < best {
+					b := p.InitSend()
+					b.PackOneInt32(found)
+					p.Send(master, tagUpdate)
+				}
+			}
+		},
+		func(p *pvm.Proc) { // master
+			type item struct {
+				bound  int32
+				length int32
+				path   []int32
+			}
+			var heap []item
+			push := func(it item) {
+				heap = append(heap, it)
+				for i := len(heap) - 1; i > 0; {
+					par := (i - 1) / 2
+					if heap[par].bound <= heap[i].bound {
+						break
+					}
+					heap[par], heap[i] = heap[i], heap[par]
+					i = par
+				}
+				p.Compute(cfg.QueueCost)
+			}
+			pop := func() item {
+				top := heap[0]
+				last := len(heap) - 1
+				heap[0] = heap[last]
+				heap = heap[:last]
+				for i := 0; ; {
+					l, r := 2*i+1, 2*i+2
+					m := i
+					if l < last && heap[l].bound < heap[m].bound {
+						m = l
+					}
+					if r < last && heap[r].bound < heap[m].bound {
+						m = r
+					}
+					if m == i {
+						break
+					}
+					heap[i], heap[m] = heap[m], heap[i]
+					i = m
+				}
+				p.Compute(cfg.QueueCost)
+				return top
+			}
+			best := s.greedy()
+			push(item{0, 0, []int32{0}})
+			// getTour: pop and extend until a solvable path emerges.
+			getTour := func() (item, bool) {
+				for len(heap) > 0 {
+					it := pop()
+					if it.bound >= best {
+						continue
+					}
+					if len(it.path) >= cfg.returnLen() {
+						return it, true
+					}
+					visited := uint32(0)
+					for _, c := range it.path {
+						visited |= 1 << uint(c)
+					}
+					lastC := it.path[len(it.path)-1]
+					for c := int32(0); c < int32(cfg.Cities); c++ {
+						if visited&(1<<uint(c)) != 0 {
+							continue
+						}
+						nl := it.length + s.d[lastC][c]
+						np := append(append([]int32(nil), it.path...), c)
+						nb := s.lowerBound(np, nl)
+						p.Compute(cfg.BoundCost)
+						if nb < best {
+							push(item{nb, nl, np})
+						}
+					}
+				}
+				return item{}, false
+			}
+			done := 0
+			for done < n {
+				r := p.Recv(-1, -1)
+				switch r.Tag() {
+				case tagUpdate:
+					if v := r.UnpackOneInt32(); v < best {
+						best = v
+					}
+				case tagWorkReq:
+					slave := int(r.UnpackOneInt32())
+					it, ok := getTour()
+					b := p.InitSend()
+					if !ok {
+						b.PackOneInt32(0)
+						done++
+					} else {
+						b.PackOneInt32(int32(len(it.path)))
+						b.PackInt32(it.path, len(it.path), 1)
+						b.PackOneInt32(it.length)
+						b.PackOneInt32(best)
+					}
+					p.Send(slave, tagWork)
+				}
+			}
+			bestPVM = best
+		})
+	return res, Output{Best: bestPVM}, err
+}

@@ -1,0 +1,310 @@
+// Package tsp implements the traveling salesman problem with branch and
+// bound (paper §3.6).  The major data structures are a pool of partially
+// evaluated tours, a priority queue of promising tours, a stack of free
+// pool slots, and the current shortest tour.
+//
+// get_tour removes the most promising path from the priority queue; if it
+// is long enough it is handed to recursive_solve, which tries all
+// permutations of the remaining cities; otherwise get_tour extends it by
+// one city, pushes the promising children, and repeats.
+//
+// In the TreadMarks version all four structures live in shared memory:
+// get_tour runs under one lock and shortest-tour updates under another,
+// so the pool, queue, and stack migrate from processor to processor —
+// the access pattern behind the paper's observation that TreadMarks sends
+// an order of magnitude more messages than PVM here (diff accumulation on
+// migratory data, several page faults per get_tour).
+//
+// In the PVM version a master process (co-located with slave 0, as in the
+// paper) keeps everything in private memory; slaves message the master to
+// request solvable tours and to report improved shortest tours.
+package tsp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Config describes one TSP instance.
+type Config struct {
+	Cities    int // number of cities
+	Threshold int // recursive_solve handles suffixes up to this length
+	Seed      uint64
+
+	NodeCost  sim.Time // per search-tree node in recursive_solve
+	BoundCost sim.Time // per lower-bound computation in get_tour
+	QueueCost sim.Time // per priority-queue operation
+}
+
+// Paper returns the paper-like instance.  The paper's exact city count
+// is unrecoverable from the source text; 14 cities with a recursive-solve
+// threshold of 10 (the suffix length handed to the solver) gives the same
+// coarse-grained branch-and-bound structure — few, large solver chunks
+// behind a lock-protected queue — at a tractable search size.
+func Paper() Config {
+	return Config{Cities: 14, Threshold: 10, Seed: 16180,
+		NodeCost: 900 * sim.Nanosecond, BoundCost: 3 * sim.Microsecond,
+		QueueCost: 1500 * sim.Nanosecond}
+}
+
+// Small returns a CI-sized instance.
+func Small() Config {
+	return Config{Cities: 11, Threshold: 7, Seed: 16180,
+		NodeCost: 900 * sim.Nanosecond, BoundCost: 3 * sim.Microsecond,
+		QueueCost: 1500 * sim.Nanosecond}
+}
+
+// dist builds the deterministic distance matrix: cities on a seeded
+// pseudo-random grid, Euclidean distances rounded to integers.
+func (c Config) dist() [][]int32 {
+	sm := func(x uint64) uint64 {
+		x += 0x9E3779B97F4A7C15
+		x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+		x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+		return x ^ (x >> 31)
+	}
+	xs := make([]float64, c.Cities)
+	ys := make([]float64, c.Cities)
+	for i := 0; i < c.Cities; i++ {
+		xs[i] = float64(sm(c.Seed+uint64(2*i))%1000) / 10
+		ys[i] = float64(sm(c.Seed+uint64(2*i+1))%1000) / 10
+	}
+	d := make([][]int32, c.Cities)
+	for i := range d {
+		d[i] = make([]int32, c.Cities)
+		for j := range d[i] {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			d[i][j] = int32(math.Round(math.Sqrt(dx*dx + dy*dy)))
+		}
+	}
+	return d
+}
+
+// Output is the optimal tour length.
+type Output struct {
+	Best int32
+}
+
+// Check compares outputs exactly: branch and bound always finds the
+// optimum regardless of exploration order.
+func (o Output) Check(other Output) error {
+	if o != other {
+		return fmt.Errorf("tsp: best %d vs %d", o.Best, other.Best)
+	}
+	return nil
+}
+
+// solver carries the per-run search machinery shared by all versions.
+type solver struct {
+	cfg  Config
+	d    [][]int32
+	minE []int32 // cheapest incident edge per city
+	min2 []int32 // second-cheapest incident edge per city
+}
+
+func newSolver(cfg Config) *solver {
+	s := &solver{cfg: cfg, d: cfg.dist()}
+	s.minE = make([]int32, cfg.Cities)
+	s.min2 = make([]int32, cfg.Cities)
+	for i := range s.minE {
+		m1, m2 := int32(math.MaxInt32), int32(math.MaxInt32)
+		for j := range s.d[i] {
+			if j == i {
+				continue
+			}
+			switch v := s.d[i][j]; {
+			case v < m1:
+				m1, m2 = v, m1
+			case v < m2:
+				m2 = v
+			}
+		}
+		s.minE[i] = m1
+		s.min2[i] = m2
+	}
+	return s
+}
+
+// lowerBound estimates the cheapest completion of a partial path.  The
+// completion must leave the last city once, enter and leave every
+// unvisited city, and re-enter the start city; the standard bound charges
+// each unvisited city half the sum of its two cheapest incident edges,
+// plus half a cheapest edge each for the path's two endpoints.
+func (s *solver) lowerBound(path []int32, length int32) int32 {
+	visited := uint32(0)
+	for _, c := range path {
+		visited |= 1 << uint(c)
+	}
+	est := int32(0)
+	for c := 0; c < s.cfg.Cities; c++ {
+		if visited&(1<<uint(c)) == 0 {
+			est += s.minE[c] + s.min2[c]
+		}
+	}
+	est += s.minE[path[len(path)-1]] + s.minE[path[0]]
+	return length + est/2
+}
+
+// pathLen sums the edges of a path.
+func (s *solver) pathLen(path []int32) int32 {
+	var l int32
+	for i := 1; i < len(path); i++ {
+		l += s.d[path[i-1]][path[i]]
+	}
+	return l
+}
+
+// greedy returns the length of the nearest-neighbor tour from city 0:
+// the deterministic initial bound every version seeds the search with,
+// so pruning is effective from the first expansion.
+func (s *solver) greedy() int32 {
+	n := s.cfg.Cities
+	visited := uint32(1)
+	cur := int32(0)
+	var length int32
+	for count := 1; count < n; count++ {
+		best := int32(-1)
+		for c := int32(0); c < int32(n); c++ {
+			if visited&(1<<uint(c)) != 0 {
+				continue
+			}
+			if best < 0 || s.d[cur][c] < s.d[cur][best] {
+				best = c
+			}
+		}
+		length += s.d[cur][best]
+		visited |= 1 << uint(best)
+		cur = best
+	}
+	return length + s.d[cur][0]
+}
+
+// recursiveSolve tries all permutations of the cities missing from path,
+// pruning against best, and returns the best complete-cycle length found
+// (or best unchanged).  nodes counts visited search nodes for costing.
+func (s *solver) recursiveSolve(path []int32, length int32, best int32, nodes *int64) int32 {
+	n := s.cfg.Cities
+	visited := uint32(0)
+	for _, c := range path {
+		visited |= 1 << uint(c)
+	}
+	var rec func(last int32, length int32)
+	buf := append([]int32(nil), path...)
+	rec = func(last int32, length int32) {
+		*nodes++
+		if len(buf) == n {
+			total := length + s.d[last][buf[0]]
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for c := int32(0); c < int32(n); c++ {
+			if visited&(1<<uint(c)) != 0 {
+				continue
+			}
+			nl := length + s.d[last][c]
+			if nl+s.minE[c] >= best {
+				continue
+			}
+			visited |= 1 << uint(c)
+			buf = append(buf, c)
+			rec(c, nl)
+			buf = buf[:len(buf)-1]
+			visited &^= 1 << uint(c)
+		}
+	}
+	rec(path[len(path)-1], length)
+	return best
+}
+
+// returnLen is the path length at which get_tour stops extending:
+// paths with at most Threshold cities remaining are solvable.
+func (c Config) returnLen() int { return c.Cities - c.Threshold }
+
+// RunSeq runs the sequential branch and bound (a single worker with a
+// private queue).
+func RunSeq(cfg Config) (core.Result, Output, error) {
+	var out Output
+	res, err := core.RunSeq(func(ctx *sim.Ctx) {
+		s := newSolver(cfg)
+		best := s.greedy()
+		// Priority queue of (bound, path) — local heap.
+		type item struct {
+			bound  int32
+			length int32
+			path   []int32
+		}
+		var heap []item
+		push := func(it item) {
+			heap = append(heap, it)
+			for i := len(heap) - 1; i > 0; {
+				p := (i - 1) / 2
+				if heap[p].bound <= heap[i].bound {
+					break
+				}
+				heap[p], heap[i] = heap[i], heap[p]
+				i = p
+			}
+			ctx.Compute(cfg.QueueCost)
+		}
+		pop := func() item {
+			top := heap[0]
+			last := len(heap) - 1
+			heap[0] = heap[last]
+			heap = heap[:last]
+			for i := 0; ; {
+				l, r := 2*i+1, 2*i+2
+				m := i
+				if l < last && heap[l].bound < heap[m].bound {
+					m = l
+				}
+				if r < last && heap[r].bound < heap[m].bound {
+					m = r
+				}
+				if m == i {
+					break
+				}
+				heap[i], heap[m] = heap[m], heap[i]
+				i = m
+			}
+			ctx.Compute(cfg.QueueCost)
+			return top
+		}
+		push(item{0, 0, []int32{0}})
+		for len(heap) > 0 {
+			it := pop()
+			if it.bound >= best {
+				continue
+			}
+			if len(it.path) >= cfg.returnLen() {
+				var nodes int64
+				best = s.recursiveSolve(it.path, it.length, best, &nodes)
+				ctx.Compute(sim.Time(nodes) * cfg.NodeCost)
+				continue
+			}
+			visited := uint32(0)
+			for _, c := range it.path {
+				visited |= 1 << uint(c)
+			}
+			last := it.path[len(it.path)-1]
+			for c := int32(0); c < int32(cfg.Cities); c++ {
+				if visited&(1<<uint(c)) != 0 {
+					continue
+				}
+				nl := it.length + s.d[last][c]
+				np := append(append([]int32(nil), it.path...), c)
+				nb := s.lowerBound(np, nl)
+				ctx.Compute(cfg.BoundCost)
+				if nb < best {
+					push(item{nb, nl, np})
+				}
+			}
+		}
+		out.Best = best
+	})
+	return res, out, err
+}

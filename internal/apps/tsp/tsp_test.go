@@ -1,0 +1,148 @@
+package tsp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// bruteForce solves a tiny instance exhaustively for ground truth.
+func bruteForce(cfg Config) int32 {
+	s := newSolver(cfg)
+	best := int32(math.MaxInt32)
+	var rec func(path []int32, visited uint32, length int32)
+	rec = func(path []int32, visited uint32, length int32) {
+		if len(path) == cfg.Cities {
+			if t := length + s.d[path[len(path)-1]][path[0]]; t < best {
+				best = t
+			}
+			return
+		}
+		for c := int32(0); c < int32(cfg.Cities); c++ {
+			if visited&(1<<uint(c)) != 0 {
+				continue
+			}
+			rec(append(path, c), visited|1<<uint(c), length+s.d[path[len(path)-1]][c])
+		}
+	}
+	rec([]int32{0}, 1, 0)
+	return best
+}
+
+func TestSeqFindsOptimum(t *testing.T) {
+	cfg := Config{Cities: 9, Threshold: 5, Seed: 16180,
+		NodeCost: 1, BoundCost: 1, QueueCost: 1}
+	want := bruteForce(cfg)
+	_, got, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Best != want {
+		t.Fatalf("seq best = %d, brute force = %d", got.Best, want)
+	}
+}
+
+func TestTMKMatchesSequential(t *testing.T) {
+	cfg := Small()
+	_, want, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		_, got, err := RunTMK(cfg, core.Default(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := want.Check(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestPVMMatchesSequential(t *testing.T) {
+	cfg := Small()
+	_, want, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		_, got, err := RunPVM(cfg, core.Default(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := want.Check(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// The paper: TreadMarks sends an order of magnitude more messages than
+// PVM (migratory data structures vs a handful of master/slave exchanges).
+func TestTMKSendsManyMoreMessages(t *testing.T) {
+	cfg := Small()
+	const n = 4
+	pvmRes, _, err := RunPVM(cfg, core.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmkRes, _, err := RunTMK(cfg, core.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmkRes.Net.Messages < 3*pvmRes.Net.Messages {
+		t.Fatalf("tmk %d msgs vs pvm %d msgs: expected a large ratio",
+			tmkRes.Net.Messages, pvmRes.Net.Messages)
+	}
+}
+
+// Paper-scale run: TreadMarks reaches roughly two thirds of PVM's speedup.
+func TestPaperScaleGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	cfg := Paper()
+	seq, _, err := RunSeq(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pvmRes, pvmOut, err := RunPVM(cfg, core.Default(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmkRes, tmkOut, err := RunTMK(cfg, core.Default(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pvmOut.Check(tmkOut); err != nil {
+		t.Fatal(err)
+	}
+	sp := seq.Time.Seconds() / pvmRes.Time.Seconds()
+	st := seq.Time.Seconds() / tmkRes.Time.Seconds()
+	if st >= sp {
+		t.Logf("note: tmk speedup %.2f >= pvm %.2f (search anomaly)", st, sp)
+	}
+	if st < 0.4*sp {
+		t.Fatalf("tmk speedup %.2f below 40%% of pvm %.2f", st, sp)
+	}
+}
+
+// The paper observes TSP processes spending a large fraction of their
+// time waiting at lock acquires (get_tour contention).
+func TestLockWaitDominates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	cfg := Paper()
+	res, _, err := RunTMK(cfg, core.Default(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := res.LockWait.Seconds() / (res.Time.Seconds() * 8)
+	if frac < 0.05 {
+		t.Fatalf("lock wait fraction %.3f: expected significant get_tour contention", frac)
+	}
+	if frac > 0.95 {
+		t.Fatalf("lock wait fraction %.3f implausibly high", frac)
+	}
+}

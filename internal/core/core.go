@@ -1,0 +1,105 @@
+// Package core is the experiment testbed: it wires a simulated cluster
+// (engine + FDDI network) to either the TreadMarks DSM or the PVM
+// message-passing library and runs an application on it, returning the
+// modeled execution time and the traffic statistics the paper reports.
+//
+// The three entry points mirror the paper's three measurement modes:
+//
+//   - RunSeq: the sequential program, no communication library (Table 1);
+//   - RunTMK: the TreadMarks version on n processors;
+//   - RunPVM: the PVM version on n processors, optionally with an extra
+//     co-located master process (the paper's TSP/QSORT arrangement).
+package core
+
+import (
+	"repro/internal/pvm"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+	"repro/internal/vnet"
+)
+
+// Config selects cluster size and cost models.
+type Config struct {
+	Procs int
+	Net   vnet.Config
+	DSM   tmk.Config
+}
+
+// Default returns the paper's testbed: n HP workstations on 100 Mbit/s
+// FDDI with 4 KB pages.
+func Default(n int) Config {
+	return Config{Procs: n, Net: vnet.FDDI(), DSM: tmk.DefaultConfig()}
+}
+
+// Result is one run's measurements.
+type Result struct {
+	Time sim.Time   // modeled wall-clock of the slowest process
+	Net  vnet.Stats // traffic in the system's own accounting
+
+	// TreadMarks behavioral detail (zero for PVM/sequential runs).
+	Faults       int
+	DiffRequests int
+	DiffsApplied int
+	DiffBytes    int64
+	LockWait     sim.Time // total time blocked in remote lock acquires
+	BarrierWait  sim.Time // total time blocked in barriers
+}
+
+// RunSeq executes the sequential program body on a single simulated
+// workstation with no communication library.
+func RunSeq(body func(ctx *sim.Ctx)) (Result, error) {
+	eng := sim.NewEngine()
+	eng.Spawn("seq", false, body)
+	if err := eng.Run(); err != nil {
+		return Result{}, err
+	}
+	return Result{Time: eng.MaxPrimaryClock()}, nil
+}
+
+// RunTMK executes the TreadMarks version: setup allocates and preloads
+// shared memory, then body runs on every processor.
+func RunTMK(cfg Config, setup func(sys *tmk.System), body func(p *tmk.Proc)) (Result, error) {
+	eng := sim.NewEngine()
+	net := vnet.New(cfg.Net)
+	sys := tmk.NewSystem(eng, net, cfg.Procs, cfg.DSM)
+	setup(sys)
+	procs := make([]*tmk.Proc, 0, cfg.Procs)
+	for i := 0; i < cfg.Procs; i++ {
+		sys.Spawn(i, func(p *tmk.Proc) {
+			procs = append(procs, p)
+			body(p)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Time: eng.MaxPrimaryClock(), Net: sys.Stats()}
+	for _, p := range procs {
+		res.Faults += p.Faults
+		res.DiffRequests += p.DiffRequests
+		res.DiffsApplied += p.DiffsApplied
+		res.DiffBytes += p.DiffBytes
+		res.LockWait += p.LockWait
+		res.BarrierWait += p.BarrierWait
+	}
+	return res, nil
+}
+
+// RunPVM executes the PVM version: body runs on each of the n regular
+// processes; if master is non-nil it runs as an additional process (id n),
+// as in the paper's master/slave TSP and QSORT.
+func RunPVM(cfg Config, body func(p *pvm.Proc), master func(p *pvm.Proc)) (Result, error) {
+	eng := sim.NewEngine()
+	net := vnet.New(cfg.Net)
+	sys := pvm.New(eng, net, cfg.Procs)
+	for i := 0; i < cfg.Procs; i++ {
+		sys.Spawn(i, body)
+	}
+	if master != nil {
+		sys.SpawnExtra("master", master)
+	}
+	if err := eng.Run(); err != nil {
+		return Result{}, err
+	}
+	return Result{Time: eng.MaxPrimaryClock(), Net: sys.UserStats()}, nil
+}

@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps/sor"
+	"repro/internal/core"
+)
+
+// The shape tests verify the paper's qualitative claims end to end on
+// reduced-scale workloads.  Detailed per-application shape checks live in
+// each application package; these cover the registry plumbing and the
+// cross-application orderings the paper's summary calls out.
+
+func TestRegistryComplete(t *testing.T) {
+	runners := Experiments(0.01)
+	if len(runners) != 12 {
+		t.Fatalf("got %d experiments, want 12 (figures 1-12)", len(runners))
+	}
+	seen := map[int]bool{}
+	for _, r := range runners {
+		if r.Figure < 1 || r.Figure > 12 || seen[r.Figure] {
+			t.Fatalf("bad figure number %d for %s", r.Figure, r.Name)
+		}
+		seen[r.Figure] = true
+		if r.Seq == nil || r.TMK == nil || r.PVM == nil {
+			t.Fatalf("%s: missing runner function", r.Name)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	runners := Experiments(0.01)
+	for _, name := range []string{"sor-zero", "SOR Zero", "sorzero", "IS-Large", "3d-fft", "Water-288"} {
+		if Find(runners, name) == nil {
+			t.Errorf("Find(%q) = nil", name)
+		}
+	}
+	if Find(runners, "nosuch") != nil {
+		t.Error("Find of unknown name should be nil")
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	runners := Experiments(0.01)
+	out, err := Table1(runners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"EP", "SOR-Zero", "ILINK", "Time(sec)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all apps at 8 procs")
+	}
+	runners := Experiments(0.01)
+	out, err := Table2(runners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TMK Messages", "PVM Kilobytes", "QSORT"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureDataShape(t *testing.T) {
+	runners := Experiments(0.01)
+	r := Find(runners, "EP")
+	fig, err := FigureData(r, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != 4 || len(s.Y) != 4 {
+			t.Fatalf("series %s has %d points, want 4", s.Name, len(s.X))
+		}
+		// Speedup at 1 processor is ~1 (small overheads only).
+		if s.Y[0] < 0.7 || s.Y[0] > 1.05 {
+			t.Errorf("%s speedup at 1 proc = %.2f, want ~1", s.Name, s.Y[0])
+		}
+	}
+}
+
+// TestSummaryOrderings verifies the abstract's grouping at 8 processors
+// on mid-scale workloads: the within-10-15%% group (EP, Water-1728,
+// ILINK, SOR) versus the 2x group (IS-Large).
+func TestSummaryOrderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid-scale sweep")
+	}
+	runners := Experiments(0.25)
+	gap := func(name string) float64 {
+		r := Find(runners, name)
+		if r == nil {
+			t.Fatalf("missing %s", name)
+		}
+		tres, err := r.TMK(8)
+		if err != nil {
+			t.Fatalf("%s tmk: %v", name, err)
+		}
+		pres, err := r.PVM(8)
+		if err != nil {
+			t.Fatalf("%s pvm: %v", name, err)
+		}
+		return tres.Time.Seconds() / pres.Time.Seconds()
+	}
+	close := []string{"EP", "SOR-Nonzero", "ILINK"}
+	for _, name := range close {
+		if g := gap(name); g > 1.30 {
+			t.Errorf("%s gap %.2f: paper groups it within ~10-15%%", name, g)
+		}
+	}
+	if g := gap("IS-Large"); g < 1.5 {
+		t.Errorf("IS-Large gap %.2f: paper reports ~2x", g)
+	}
+}
+
+func TestAblationsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several 8-proc configurations")
+	}
+	out, err := Ablations(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"page size", "MTU", "barrier", "remote lock acquire"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Smaller pages mean more messages for the same data (more faults, more
+// diff requests) — the granularity trade-off behind false sharing.
+func TestPageSizeAblationMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8-proc sweeps")
+	}
+	msgs := map[int]int64{}
+	cfg := sor.Paper(false)
+	cfg.M = 128
+	cfg.Sweeps = 10
+	for _, ps := range []int{1024, 4096} {
+		ccfg := core.Default(8)
+		ccfg.DSM.PageSize = ps
+		res, _, err := sor.RunTMK(cfg, ccfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs[ps] = res.Net.Messages
+	}
+	if msgs[1024] <= msgs[4096] {
+		t.Fatalf("1KB pages sent %d msgs, 4KB %d: want more with smaller pages",
+			msgs[1024], msgs[4096])
+	}
+}

@@ -1,0 +1,7 @@
+package pvm
+
+import "math"
+
+// floatBits and floatFromBits isolate the float64 wire representation.
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(u uint64) float64 { return math.Float64frombits(u) }

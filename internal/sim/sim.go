@@ -1,0 +1,343 @@
+// Package sim implements a deterministic discrete-event simulator for a
+// cluster of workstations.
+//
+// Each simulated processor ("proc") runs real Go code in its own goroutine,
+// but the engine enforces strictly sequential execution: exactly one proc
+// runs at a time, and the engine always resumes the runnable proc with the
+// smallest virtual clock (ties broken by proc id).  Procs advance their
+// virtual clocks explicitly via Compute and block on arbitrary conditions
+// via Wait.  Because all cross-proc interaction happens through conditions
+// evaluated at scheduling points, runs are bit-for-bit reproducible:
+// message counts, byte counts and virtual times are exact.
+//
+// The engine distinguishes primary procs (application processes) from
+// daemon procs (protocol service threads).  A run completes when every
+// primary proc has returned; daemons may still be blocked at that point.
+// If no proc can make progress while primaries remain, Run reports a
+// deadlock with a per-proc state dump.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is virtual time in nanoseconds.
+type Time int64
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders a Time in seconds with microsecond resolution.
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}
+
+// Seconds converts a virtual time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+type procState int
+
+const (
+	stateNew procState = iota
+	stateReady
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateNew:
+		return "new"
+	case stateReady:
+		return "ready"
+	case stateRunning:
+		return "running"
+	case stateBlocked:
+		return "blocked"
+	case stateDone:
+		return "done"
+	}
+	return "?"
+}
+
+// Cond is a blocking condition.  It must be a pure function of simulator
+// state: it reports whether the proc may resume and, if so, the earliest
+// virtual time at which the wake-up event (e.g. a message arrival) occurs.
+// The proc's clock is advanced to max(clock, wake time) when it resumes.
+type Cond func() (wake Time, ok bool)
+
+type proc struct {
+	id     int
+	name   string
+	daemon bool
+	state  procState
+	clock  Time
+	cond   Cond      // valid when state == stateBlocked
+	what   string    // human-readable reason for the block
+	resume chan Time // engine -> proc: new clock value
+	body   func(*Ctx)
+	eng    *Engine
+	err    error // panic captured from the proc body
+}
+
+// Engine coordinates a set of procs over virtual time.
+type Engine struct {
+	procs   []*proc
+	yieldCh chan *proc
+	started bool
+}
+
+// NewEngine returns an empty engine.  All procs must be spawned before Run.
+func NewEngine() *Engine {
+	return &Engine{yieldCh: make(chan *proc)}
+}
+
+// Spawn registers a new proc.  Primary procs (daemon=false) must all return
+// for Run to complete; daemon procs service requests and may be abandoned
+// while blocked.  Spawn must not be called after Run has started.
+func (e *Engine) Spawn(name string, daemon bool, body func(*Ctx)) {
+	if e.started {
+		panic("sim: Spawn after Run")
+	}
+	p := &proc{
+		id:     len(e.procs),
+		name:   name,
+		daemon: daemon,
+		state:  stateNew,
+		resume: make(chan Time),
+		body:   body,
+		eng:    e,
+	}
+	e.procs = append(e.procs, p)
+}
+
+// NumPrimary reports the number of non-daemon procs.
+func (e *Engine) NumPrimary() int {
+	n := 0
+	for _, p := range e.procs {
+		if !p.daemon {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes the simulation until every primary proc has returned.
+// It returns a deadlock error if primaries remain but no proc can resume,
+// and propagates the first panic raised inside any proc body.
+func (e *Engine) Run() error {
+	if e.started {
+		return fmt.Errorf("sim: engine already ran")
+	}
+	e.started = true
+	for _, p := range e.procs {
+		p.state = stateReady
+		go p.loop()
+	}
+	for {
+		if e.primariesDone() {
+			e.drain()
+			return e.firstErr()
+		}
+		best := e.pick()
+		if best == nil {
+			e.drain()
+			if err := e.firstErr(); err != nil {
+				return err
+			}
+			return fmt.Errorf("sim: deadlock\n%s", e.dump())
+		}
+		t := best.clock
+		if best.state == stateBlocked {
+			if wake, ok := best.cond(); ok && wake > t {
+				t = wake
+			}
+			best.cond = nil
+			best.what = ""
+		}
+		best.state = stateRunning
+		best.resume <- t
+		<-e.yieldCh
+		if err := e.firstErr(); err != nil {
+			e.drain()
+			return err
+		}
+	}
+}
+
+// pick selects the resumable proc with the smallest effective time.
+func (e *Engine) pick() *proc {
+	var best *proc
+	var bestT Time
+	for _, p := range e.procs {
+		var t Time
+		switch p.state {
+		case stateReady:
+			t = p.clock
+		case stateBlocked:
+			wake, ok := p.cond()
+			if !ok {
+				continue
+			}
+			t = p.clock
+			if wake > t {
+				t = wake
+			}
+		default:
+			continue
+		}
+		if best == nil || t < bestT || (t == bestT && p.id < best.id) {
+			best = p
+			bestT = t
+		}
+	}
+	return best
+}
+
+func (e *Engine) primariesDone() bool {
+	for _, p := range e.procs {
+		if !p.daemon && p.state != stateDone {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) firstErr() error {
+	for _, p := range e.procs {
+		if p.err != nil {
+			return p.err
+		}
+	}
+	return nil
+}
+
+// drain abandons all blocked/ready procs so their goroutines exit.  Called
+// once the run is over; abandoned procs never resume.
+func (e *Engine) drain() {
+	for _, p := range e.procs {
+		if p.state == stateReady || p.state == stateBlocked {
+			p.state = stateDone
+			close(p.resume)
+		}
+	}
+}
+
+// dump renders a state table for deadlock diagnostics.
+func (e *Engine) dump() string {
+	var b strings.Builder
+	ps := append([]*proc(nil), e.procs...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].id < ps[j].id })
+	for _, p := range ps {
+		kind := "proc"
+		if p.daemon {
+			kind = "daemon"
+		}
+		fmt.Fprintf(&b, "  %-6s %-20s state=%-8s clock=%v", kind, p.name, p.state, p.clock)
+		if p.what != "" {
+			fmt.Fprintf(&b, " waiting-for=%s", p.what)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MaxPrimaryClock reports the largest final clock among primary procs:
+// the modeled parallel execution time of the run.
+func (e *Engine) MaxPrimaryClock() Time {
+	var max Time
+	for _, p := range e.procs {
+		if !p.daemon && p.clock > max {
+			max = p.clock
+		}
+	}
+	return max
+}
+
+func (p *proc) loop() {
+	t, ok := <-p.resume
+	if !ok {
+		return
+	}
+	p.clock = t
+	defer func() {
+		if r := recover(); r != nil {
+			if IsAbandoned(r) {
+				// The engine shut this proc down after the run ended (or
+				// after another proc failed); exit without reporting.
+				return
+			}
+			p.err = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
+		}
+		p.state = stateDone
+		p.eng.yieldCh <- p
+	}()
+	p.body(&Ctx{p: p})
+}
+
+// Ctx is the handle a proc body uses to interact with virtual time.
+type Ctx struct {
+	p *proc
+}
+
+// ID returns the proc's engine-wide id (spawn order).
+func (c *Ctx) ID() int { return c.p.id }
+
+// Name returns the proc's name.
+func (c *Ctx) Name() string { return c.p.name }
+
+// Now returns the proc's current virtual clock.
+func (c *Ctx) Now() Time { return c.p.clock }
+
+// Compute advances the proc's virtual clock by d, modeling local
+// computation.  Negative durations are ignored.
+func (c *Ctx) Compute(d Time) {
+	if d > 0 {
+		c.p.clock += d
+	}
+}
+
+// Wait blocks the proc until cond reports ok.  The proc's clock becomes
+// max(clock, wake).  what describes the blockage for deadlock dumps.
+func (c *Ctx) Wait(what string, cond Cond) {
+	p := c.p
+	// Fast path: condition already satisfied; still advance to wake time.
+	// A scheduling round-trip is required regardless so that other procs
+	// with earlier clocks run first.
+	p.cond = cond
+	p.what = what
+	p.state = stateBlocked
+	p.eng.yieldCh <- p
+	t, ok := <-p.resume
+	if !ok {
+		// Engine abandoned the run (e.g. another proc panicked or all
+		// primaries finished while this daemon was blocked).  Unwind.
+		panic(abandoned{})
+	}
+	p.clock = t
+}
+
+// Yield gives the engine a scheduling point without blocking: procs with
+// earlier clocks run before this proc continues.
+func (c *Ctx) Yield() {
+	c.Wait("yield", func() (Time, bool) { return 0, true })
+}
+
+// abandoned is panicked through a proc body when the engine shuts it down.
+type abandoned struct{}
+
+// IsAbandoned reports whether a recovered panic value is the engine's
+// shutdown signal.  Proc bodies that install their own recover handlers
+// must re-panic these.
+func IsAbandoned(r any) bool {
+	_, ok := r.(abandoned)
+	return ok
+}

@@ -1,0 +1,171 @@
+// Package stats renders the tables and speedup figures of the evaluation:
+// aligned text tables (Tables 1 and 2) and speedup-versus-processors
+// series with a simple ASCII chart (Figures 1-12).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Table is a titled text table with aligned columns.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Series is one curve of a speedup figure.
+type Series struct {
+	Name string
+	X    []int     // processor counts
+	Y    []float64 // speedups
+}
+
+// Figure is a set of speedup curves, one per system.
+type Figure struct {
+	Title  string
+	Series []Series
+}
+
+// Speedup derives speedups from a sequential time and parallel times.
+func Speedup(seq sim.Time, par []sim.Time) []float64 {
+	out := make([]float64, len(par))
+	for i, p := range par {
+		if p > 0 {
+			out[i] = seq.Seconds() / p.Seconds()
+		}
+	}
+	return out
+}
+
+// Render prints the figure as a value table followed by an ASCII chart in
+// the style of the paper's speedup plots (x: processors, y: speedup).
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+
+	// Value table.
+	tbl := Table{Header: []string{"nprocs"}}
+	for _, s := range f.Series {
+		tbl.Header = append(tbl.Header, s.Name)
+	}
+	if len(f.Series) > 0 {
+		for i, x := range f.Series[0].X {
+			row := []string{fmt.Sprintf("%d", x)}
+			for _, s := range f.Series {
+				row = append(row, fmt.Sprintf("%.2f", s.Y[i]))
+			}
+			tbl.AddRow(row...)
+		}
+	}
+	b.WriteString(tbl.Render())
+
+	// ASCII chart: rows from max speedup down to 1.
+	maxY := 1.0
+	maxX := 0
+	for _, s := range f.Series {
+		for _, y := range s.Y {
+			if y > maxY {
+				maxY = y
+			}
+		}
+		for _, x := range s.X {
+			if x > maxX {
+				maxX = x
+			}
+		}
+	}
+	if maxX == 0 {
+		return b.String()
+	}
+	const height = 12
+	const colw = 6
+	top := math.Ceil(maxY)
+	marks := []byte{'T', 'P'} // TreadMarks, PVM
+	grid := make([][]byte, height+1)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", (maxX+1)*colw))
+	}
+	for si, s := range f.Series {
+		mark := byte('0' + si)
+		if si < len(marks) {
+			mark = marks[si]
+		}
+		for i, x := range s.X {
+			r := int(math.Round((top - s.Y[i]) / top * float64(height)))
+			if r < 0 {
+				r = 0
+			}
+			if r > height {
+				r = height
+			}
+			c := x * colw
+			if grid[r][c] != ' ' {
+				c++ // nudge overlapping points
+			}
+			grid[r][c] = mark
+		}
+	}
+	fmt.Fprintf(&b, "\nspeedup (T=TreadMarks, P=PVM), y-max=%.0f\n", top)
+	for r := 0; r <= height; r++ {
+		y := top * float64(height-r) / float64(height)
+		fmt.Fprintf(&b, "%5.1f |%s\n", y, strings.TrimRight(string(grid[r]), " "))
+	}
+	b.WriteString("      +")
+	b.WriteString(strings.Repeat("-", (maxX+1)*colw-4))
+	b.WriteByte('\n')
+	b.WriteString("       ")
+	for x := 1; x <= maxX; x++ {
+		fmt.Fprintf(&b, "%*d", colw, x)
+	}
+	b.WriteString("   nprocs\n")
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:  "Table 1  Sequential Time of Applications",
+		Header: []string{"Program", "Problem Size", "Time(sec)"},
+	}
+	tbl.AddRow("EP", "2^25", "105.0")
+	tbl.AddRow("SOR-Zero", "2048x1536", "44.5")
+	out := tbl.Render()
+	if !strings.Contains(out, "Program") || !strings.Contains(out, "SOR-Zero") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: every row's second column starts at the same offset.
+	hdrIdx := strings.Index(lines[1], "Problem Size")
+	rowIdx := strings.Index(lines[3], "2^25")
+	if hdrIdx != rowIdx {
+		t.Fatalf("misaligned columns: %d vs %d\n%s", hdrIdx, rowIdx, out)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	seq := 80 * sim.Second
+	par := []sim.Time{80 * sim.Second, 40 * sim.Second, 10 * sim.Second}
+	s := Speedup(seq, par)
+	if s[0] != 1 || s[1] != 2 || s[2] != 8 {
+		t.Fatalf("speedups = %v", s)
+	}
+	if z := Speedup(seq, []sim.Time{0}); z[0] != 0 {
+		t.Fatalf("zero time should give zero speedup, got %v", z[0])
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := Figure{
+		Title: "Figure 1  EP",
+		Series: []Series{
+			{Name: "TreadMarks", X: []int{1, 2, 4, 8}, Y: []float64{1, 1.9, 3.8, 7.4}},
+			{Name: "PVM", X: []int{1, 2, 4, 8}, Y: []float64{1, 2.0, 3.9, 7.6}},
+		},
+	}
+	out := f.Render()
+	for _, want := range []string{"Figure 1", "TreadMarks", "PVM", "nprocs", "7.40", "7.60"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Chart markers present.
+	if !strings.Contains(out, "T") || !strings.Contains(out, "P") {
+		t.Fatalf("chart markers missing:\n%s", out)
+	}
+}
+
+func TestFigureRenderEmpty(t *testing.T) {
+	f := Figure{Title: "empty"}
+	if out := f.Render(); !strings.Contains(out, "empty") {
+		t.Fatalf("empty figure render: %q", out)
+	}
+}

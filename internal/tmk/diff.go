@@ -1,0 +1,77 @@
+package tmk
+
+import "fmt"
+
+// A Diff is a run-length encoding of the modifications made to a page
+// (paper §2.2.2): it records the byte ranges of a page that differ between
+// the twin saved before the first write of an interval and the page
+// contents at the end of the interval.  Applying a diff copies those
+// ranges into another copy of the page; diffs from distinct writers to
+// disjoint parts of a page merge without interference, which is the
+// multiple-writer protocol's answer to false sharing.
+type Diff struct {
+	Page int
+	Runs []Run
+}
+
+// Run is one modified byte range within a page.
+type Run struct {
+	Off  int
+	Data []byte
+}
+
+// MakeDiff compares twin (the pre-modification copy) against cur and
+// returns the run-length encoding of the changed ranges, or an empty diff
+// if nothing changed.  len(twin) must equal len(cur).
+func MakeDiff(page int, twin, cur []byte) *Diff {
+	if len(twin) != len(cur) {
+		panic(fmt.Sprintf("tmk: diff size mismatch %d vs %d", len(twin), len(cur)))
+	}
+	d := &Diff{Page: page}
+	i := 0
+	for i < len(cur) {
+		if twin[i] == cur[i] {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(cur) && twin[j] != cur[j] {
+			j++
+		}
+		// Coalesce runs separated by a short unchanged gap: real diff
+		// implementations word-align and merge to cut per-run overhead.
+		if n := len(d.Runs); n > 0 {
+			last := &d.Runs[n-1]
+			gap := i - (last.Off + len(last.Data))
+			if gap <= 8 {
+				last.Data = append(last.Data, cur[last.Off+len(last.Data):j]...)
+				i = j
+				continue
+			}
+		}
+		d.Runs = append(d.Runs, Run{Off: i, Data: append([]byte(nil), cur[i:j]...)})
+		i = j
+	}
+	return d
+}
+
+// Empty reports whether the diff carries no modifications.
+func (d *Diff) Empty() bool { return len(d.Runs) == 0 }
+
+// Apply copies the diff's runs into page data dst.
+func (d *Diff) Apply(dst []byte) {
+	for _, r := range d.Runs {
+		copy(dst[r.Off:], r.Data)
+	}
+}
+
+// Size returns the encoded size in bytes: 4 bytes of run metadata per run
+// (u16 offset, u16 length) plus the run payloads.  This is what travels on
+// the wire inside a diff response.
+func (d *Diff) Size() int {
+	n := 0
+	for _, r := range d.Runs {
+		n += 4 + len(r.Data)
+	}
+	return n
+}

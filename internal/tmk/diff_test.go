@@ -1,0 +1,146 @@
+package tmk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeDiffEmpty(t *testing.T) {
+	a := make([]byte, 128)
+	d := MakeDiff(0, a, a)
+	if !d.Empty() || d.Size() != 0 {
+		t.Fatalf("identical pages should produce an empty diff: %+v", d)
+	}
+}
+
+func TestMakeDiffSingleRun(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	copy(cur[10:], []byte{1, 2, 3})
+	d := MakeDiff(3, twin, cur)
+	if len(d.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(d.Runs))
+	}
+	if d.Runs[0].Off != 10 || len(d.Runs[0].Data) != 3 {
+		t.Fatalf("run = %+v", d.Runs[0])
+	}
+	if d.Page != 3 {
+		t.Fatalf("page = %d", d.Page)
+	}
+}
+
+func TestMakeDiffCoalescesShortGaps(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[0] = 1
+	cur[6] = 1 // gap of 5 unchanged bytes <= 8: coalesce
+	d := MakeDiff(0, twin, cur)
+	if len(d.Runs) != 1 {
+		t.Fatalf("short gaps should coalesce: %d runs", len(d.Runs))
+	}
+	cur2 := make([]byte, 64)
+	cur2[0] = 1
+	cur2[40] = 1 // long gap: separate runs
+	d2 := MakeDiff(0, twin, cur2)
+	if len(d2.Runs) != 2 {
+		t.Fatalf("long gaps should split: %d runs", len(d2.Runs))
+	}
+}
+
+func TestDiffApplyRoundTrip(t *testing.T) {
+	twin := []byte("the quick brown fox jumps over the lazy dog....")
+	cur := append([]byte(nil), twin...)
+	copy(cur[4:], "slow!")
+	copy(cur[30:], "XYZ")
+	d := MakeDiff(0, twin, cur)
+	got := append([]byte(nil), twin...)
+	d.Apply(got)
+	if !bytes.Equal(got, cur) {
+		t.Fatalf("apply: got %q want %q", got, cur)
+	}
+}
+
+func TestMakeDiffSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MakeDiff(0, make([]byte, 4), make([]byte, 8))
+}
+
+// Property: for random twin/current pairs, twin + diff == current.
+func TestDiffRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 64 + r.Intn(512)
+		twin := make([]byte, n)
+		r.Read(twin)
+		cur := append([]byte(nil), twin...)
+		// Random sparse mutations.
+		for k := r.Intn(10); k > 0; k-- {
+			i := r.Intn(n)
+			cur[i] = byte(r.Intn(256))
+		}
+		d := MakeDiff(0, twin, cur)
+		got := append([]byte(nil), twin...)
+		d.Apply(got)
+		return bytes.Equal(got, cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: diffs from disjoint writers merge regardless of order — the
+// multiple-writer protocol's core invariant.
+func TestDisjointDiffMergeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 256
+		base := make([]byte, n)
+		r.Read(base)
+		// Writer A mutates the first half, writer B the second half.
+		curA := append([]byte(nil), base...)
+		curB := append([]byte(nil), base...)
+		for k := 1 + r.Intn(8); k > 0; k-- {
+			curA[r.Intn(n/2)] ^= byte(1 + r.Intn(255))
+		}
+		for k := 1 + r.Intn(8); k > 0; k-- {
+			curB[n/2+r.Intn(n/2)] ^= byte(1 + r.Intn(255))
+		}
+		dA := MakeDiff(0, base, curA)
+		dB := MakeDiff(0, base, curB)
+
+		ab := append([]byte(nil), base...)
+		dA.Apply(ab)
+		dB.Apply(ab)
+		ba := append([]byte(nil), base...)
+		dB.Apply(ba)
+		dA.Apply(ba)
+		if !bytes.Equal(ab, ba) {
+			return false
+		}
+		// Result must contain both writers' changes.
+		want := append([]byte(nil), curA...)
+		copy(want[n/2:], curB[n/2:])
+		return bytes.Equal(ab, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Zero-initialized data that stays mostly zero produces tiny diffs: the
+// reason TreadMarks ships less data than PVM on SOR-Zero.
+func TestZeroPageDiffIsSmall(t *testing.T) {
+	twin := make([]byte, 4096)
+	cur := make([]byte, 4096)
+	putF64(cur[128:], 0.25) // a single interior element became nonzero
+	d := MakeDiff(0, twin, cur)
+	if d.Size() > 32 {
+		t.Fatalf("diff size = %d, want tiny", d.Size())
+	}
+}

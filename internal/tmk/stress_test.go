@@ -1,0 +1,203 @@
+package tmk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/vnet"
+)
+
+// TestConvergenceProperty: random seeded workloads — each processor
+// writes a disjoint, pseudo-random set of slots between barriers — must
+// leave every processor with an identical view of shared memory.
+func TestConvergenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nprocs := 2 + rng.Intn(3) // 2..4
+		slots := 256 + rng.Intn(1024)
+		rounds := 1 + rng.Intn(3)
+		// Precompute per-round, per-proc disjoint write sets.
+		type write struct {
+			slot int
+			val  int64
+		}
+		plan := make([][][]write, rounds)
+		for r := range plan {
+			plan[r] = make([][]write, nprocs)
+			perm := rng.Perm(slots)
+			i := 0
+			for p := 0; p < nprocs; p++ {
+				cnt := rng.Intn(slots / nprocs)
+				for k := 0; k < cnt; k++ {
+					plan[r][p] = append(plan[r][p], write{perm[i], rng.Int63n(1 << 40)})
+					i++
+				}
+			}
+		}
+		eng := sim.NewEngine()
+		net := vnet.New(vnet.FDDI())
+		sys := NewSystem(eng, net, nprocs, DefaultConfig())
+		base := sys.Malloc(8 * slots)
+		views := make([][]int64, nprocs)
+		for p := 0; p < nprocs; p++ {
+			id := p
+			sys.Spawn(id, func(pr *Proc) {
+				arr := pr.I64Array(base, slots)
+				for r := 0; r < rounds; r++ {
+					for _, w := range plan[r][id] {
+						arr.Set(w.slot, w.val)
+					}
+					pr.Barrier(r)
+				}
+				// Read back the whole region.
+				out := make([]int64, slots)
+				for i := 0; i < slots; i++ {
+					out[i] = arr.At(i)
+				}
+				views[id] = out
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for p := 1; p < nprocs; p++ {
+			for i := 0; i < slots; i++ {
+				if views[p][i] != views[0][i] {
+					t.Logf("seed %d: proc %d slot %d: %d vs %d",
+						seed, p, i, views[p][i], views[0][i])
+					return false
+				}
+			}
+		}
+		// And the final content matches the last write per slot.
+		want := make([]int64, slots)
+		for r := 0; r < rounds; r++ {
+			for p := 0; p < nprocs; p++ {
+				for _, w := range plan[r][p] {
+					want[w.slot] = w.val
+				}
+			}
+		}
+		for i := 0; i < slots; i++ {
+			if views[0][i] != want[i] {
+				t.Logf("seed %d: slot %d = %d, want %d", seed, i, views[0][i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockStressTotalOrder: many processors hammer several locks with
+// staggered timing; per-lock counters must total exactly and the final
+// values must be visible everywhere.
+func TestLockStressTotalOrder(t *testing.T) {
+	const nprocs, nlocks, rounds = 6, 3, 7
+	eng, sys := world(nprocs)
+	ctrs := sys.MallocPageAligned(8 * nlocks)
+	runAll(t, eng, sys, func(p *Proc) {
+		rng := rand.New(rand.NewSource(int64(p.ID()) + 1))
+		for r := 0; r < rounds; r++ {
+			lk := (p.ID() + r) % nlocks
+			p.Compute(sim.Time(rng.Intn(500)) * sim.Microsecond)
+			p.LockAcquire(lk)
+			addr := ctrs + Addr(8*lk)
+			p.WriteI64(addr, p.ReadI64(addr)+1)
+			p.LockRelease(lk)
+		}
+		p.Barrier(0)
+		for lk := 0; lk < nlocks; lk++ {
+			want := int64(0)
+			for q := 0; q < nprocs; q++ {
+				for r := 0; r < rounds; r++ {
+					if (q+r)%nlocks == lk {
+						want++
+					}
+				}
+			}
+			if got := p.ReadI64(ctrs + Addr(8*lk)); got != want {
+				t.Errorf("proc %d: lock %d counter = %d, want %d", p.ID(), lk, got, want)
+			}
+		}
+	})
+}
+
+// TestInitBytesSpansPages: preloaded data crossing page boundaries is
+// visible everywhere, including the tail page.
+func TestInitBytesSpansPages(t *testing.T) {
+	eng, sys := world(2)
+	const n = 1500 // 12000 bytes: spans 3 pages
+	a := sys.Malloc(8 * n)
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i * 7)
+	}
+	sys.InitI64(a, vals)
+	runAll(t, eng, sys, func(p *Proc) {
+		arr := p.I64Array(a, n)
+		for _, i := range []int{0, 511, 512, 1023, 1024, n - 1} {
+			if got := arr.At(i); got != int64(i*7) {
+				t.Errorf("proc %d: [%d] = %d, want %d", p.ID(), i, got, i*7)
+			}
+		}
+	})
+}
+
+// TestInterleavedLocksAndBarriers: locks inside barrier rounds — write
+// notices must flow through both channels without duplication.
+func TestInterleavedLocksAndBarriers(t *testing.T) {
+	const nprocs = 4
+	eng, sys := world(nprocs)
+	a := sys.Malloc(8 * 2)
+	runAll(t, eng, sys, func(p *Proc) {
+		for r := 0; r < 4; r++ {
+			p.LockAcquire(0)
+			p.WriteI64(a, p.ReadI64(a)+1)
+			p.LockRelease(0)
+			p.Barrier(2 * r)
+			// Everyone observes the same running total.
+			want := int64((r + 1) * nprocs)
+			if got := p.ReadI64(a); got != want {
+				t.Errorf("proc %d round %d: %d, want %d", p.ID(), r, got, want)
+			}
+			p.Barrier(2*r + 1)
+		}
+	})
+}
+
+// TestManyPagesSparseWrites: writers touch one word per page across many
+// pages; readers fetch every page with one small diff each.
+func TestManyPagesSparseWrites(t *testing.T) {
+	const pages = 40
+	eng, sys := world(2)
+	a := sys.MallocPageAligned(4096 * pages)
+	runAll(t, eng, sys, func(p *Proc) {
+		if p.ID() == 0 {
+			for pg := 0; pg < pages; pg++ {
+				p.WriteI64(a+Addr(pg*4096), int64(pg+1))
+			}
+		}
+		p.Barrier(0)
+		if p.ID() == 1 {
+			before := p.DiffBytes
+			for pg := 0; pg < pages; pg++ {
+				if got := p.ReadI64(a + Addr(pg*4096)); got != int64(pg+1) {
+					t.Errorf("page %d: %d", pg, got)
+				}
+			}
+			moved := p.DiffBytes - before
+			if moved > pages*64 {
+				t.Errorf("sparse writes moved %d diff bytes, want < %d", moved, pages*64)
+			}
+			if p.DiffRequests != pages {
+				t.Errorf("diff requests = %d, want %d", p.DiffRequests, pages)
+			}
+		}
+	})
+}

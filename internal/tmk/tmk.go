@@ -1,0 +1,832 @@
+// Package tmk reimplements the TreadMarks software distributed shared
+// memory system (paper §2.2) on the simulated cluster.
+//
+// TreadMarks provides a shared paged address space over physically
+// distributed memories.  Consistency follows the lazy invalidate version
+// of release consistency: a processor's execution is divided into
+// intervals delimited by synchronization operations; intervals carry
+// vector timestamps and write notices; acquiring a lock (or departing a
+// barrier) delivers the write notices of all causally preceding intervals
+// and invalidates the named pages; the first access to an invalidated
+// page faults, fetches the missing diffs from a minimal set of previous
+// writers, and applies them in happens-before order.  Concurrent writers
+// to disjoint parts of a page are merged through diffs (the multiple-
+// writer protocol), mitigating false sharing.
+//
+// Where the original uses virtual-memory protection to detect accesses,
+// this implementation uses software access checks on every typed access
+// (see views.go): Go's garbage-collected runtime does not tolerate
+// mprotect games on its heap.  The protocol actions triggered are
+// identical; only the detection mechanism differs.
+//
+// Synchronization: Tmk_barrier(i) == (*Proc).Barrier(i),
+// Tmk_lock_acquire(i) == (*Proc).LockAcquire(i), Tmk_lock_release(i) ==
+// (*Proc).LockRelease(i), Tmk_malloc == (*System).Malloc.  Locks have a
+// statically assigned manager (id mod nprocs) that forwards acquire
+// requests to the last requester; a release sends no message.  Barriers
+// have a centralized manager (processor 0); an n-processor barrier costs
+// 2*(n-1) messages.
+//
+// Each processor runs two simulated threads: the application thread and a
+// service daemon that answers lock and diff requests, standing in for the
+// SIGIO-driven request handlers of the real system.
+package tmk
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/vnet"
+)
+
+// Addr is an offset into the shared address space.
+type Addr int
+
+// Config carries the DSM cost model and layout parameters.
+type Config struct {
+	PageSize          int      // bytes per shared page
+	FaultOverhead     sim.Time // trap + handler entry on an access fault
+	TwinPerByte       sim.Time // copy cost when twinning a page
+	DiffCreatePerByte sim.Time // page comparison cost at interval close
+	DiffApplyPerByte  sim.Time // cost of applying received diff payload
+	HandlerOverhead   sim.Time // service-side cost per handled request
+}
+
+// DefaultConfig models a mid-1990s HP PA-RISC workstation (4 KB pages).
+func DefaultConfig() Config {
+	return Config{
+		PageSize:          4096,
+		FaultOverhead:     50 * sim.Microsecond,
+		TwinPerByte:       4 * sim.Nanosecond, // ~16 µs to twin a 4 KB page
+		DiffCreatePerByte: 4 * sim.Nanosecond,
+		DiffApplyPerByte:  4 * sim.Nanosecond,
+		HandlerOverhead:   30 * sim.Microsecond,
+	}
+}
+
+// System is one TreadMarks cluster: a shared address space layout plus n
+// processors.  Allocate shared memory with Malloc and optionally preload
+// it with Init* before spawning processor bodies.
+type System struct {
+	eng     *sim.Engine
+	net     *vnet.Network
+	cfg     Config
+	n       int
+	brk     Addr
+	procs   []*Proc
+	started bool
+	initial map[int][]byte // page -> preloaded contents
+}
+
+// NewSystem creates a TreadMarks system with n processors on net.
+func NewSystem(eng *sim.Engine, net *vnet.Network, n int, cfg Config) *System {
+	if n < 1 {
+		panic("tmk: need at least one processor")
+	}
+	if cfg.PageSize <= 0 || cfg.PageSize%8 != 0 {
+		panic("tmk: page size must be a positive multiple of 8")
+	}
+	s := &System{eng: eng, net: net, cfg: cfg, n: n, initial: map[int][]byte{}}
+	for i := 0; i < n; i++ {
+		p := &Proc{
+			sys:       s,
+			id:        i,
+			ep:        net.NewEndpoint(i, true),
+			srv:       net.NewEndpoint(i, true),
+			vc:        NewVC(n),
+			diffs:     map[diffKey]*Diff{},
+			locks:     map[int]*plock{},
+			recs:      make([][]*IntervalRec, n),
+			lastMgrVC: NewVC(n),
+		}
+		if i == 0 {
+			p.barrier = &barrierState{id: -1}
+		}
+		s.procs = append(s.procs, p)
+	}
+	return s
+}
+
+// N returns the number of processors.
+func (s *System) N() int { return s.n }
+
+// PageSize returns the configured page size.
+func (s *System) PageSize() int { return s.cfg.PageSize }
+
+// Malloc allocates size bytes of shared memory (Tmk_malloc).  Allocations
+// are 8-byte aligned and must happen before Spawn bodies run; the layout
+// is global, so every processor sees the same addresses.
+func (s *System) Malloc(size int) Addr {
+	if s.started {
+		panic("tmk: Malloc after start")
+	}
+	if size < 0 {
+		panic("tmk: negative allocation")
+	}
+	a := s.brk
+	s.brk += Addr((size + 7) &^ 7)
+	return a
+}
+
+// MallocPageAligned allocates size bytes starting on a fresh page, so the
+// allocation shares no page with earlier ones (used by applications that
+// isolate a hot structure, e.g. a counter, from bulk data).
+func (s *System) MallocPageAligned(size int) Addr {
+	ps := Addr(s.cfg.PageSize)
+	if rem := s.brk % ps; rem != 0 {
+		s.brk += ps - rem
+	}
+	return s.Malloc(size)
+}
+
+// Pages returns the number of pages spanned by the current allocations.
+func (s *System) Pages() int {
+	return (int(s.brk) + s.cfg.PageSize - 1) / s.cfg.PageSize
+}
+
+// InitBytes preloads shared memory with initial contents, replicated on
+// every processor at no modeled cost.  The paper's measurements exclude
+// initial data distribution (e.g. SOR's first iteration, FFT's initial
+// value distribution); preloading models that exclusion.
+func (s *System) InitBytes(a Addr, b []byte) {
+	if s.started {
+		panic("tmk: InitBytes after start")
+	}
+	ps := s.cfg.PageSize
+	for i := 0; i < len(b); {
+		pg := (int(a) + i) / ps
+		off := (int(a) + i) % ps
+		n := ps - off
+		if n > len(b)-i {
+			n = len(b) - i
+		}
+		dst := s.initial[pg]
+		if dst == nil {
+			dst = make([]byte, ps)
+			s.initial[pg] = dst
+		}
+		copy(dst[off:], b[i:i+n])
+		i += n
+	}
+}
+
+// InitF64 preloads a float64 slice at address a.
+func (s *System) InitF64(a Addr, vals []float64) {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		putF64(b[8*i:], v)
+	}
+	s.InitBytes(a, b)
+}
+
+// InitI32 preloads an int32 slice at address a.
+func (s *System) InitI32(a Addr, vals []int32) {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		putU32(b[4*i:], uint32(v))
+	}
+	s.InitBytes(a, b)
+}
+
+// InitI64 preloads an int64 slice at address a.
+func (s *System) InitI64(a Addr, vals []int64) {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		putU64(b[8*i:], uint64(v))
+	}
+	s.InitBytes(a, b)
+}
+
+// Spawn registers the application body for processor id and starts its
+// service daemon.  Call once per processor, then eng.Run().
+func (s *System) Spawn(id int, body func(*Proc)) {
+	if id < 0 || id >= s.n {
+		panic(fmt.Sprintf("tmk: spawn id %d out of range", id))
+	}
+	s.started = true
+	p := s.procs[id]
+	s.eng.Spawn(fmt.Sprintf("tmk%d", id), false, func(c *sim.Ctx) {
+		p.app = c
+		p.initPages()
+		body(p)
+	})
+	s.eng.Spawn(fmt.Sprintf("tmk%d.srv", id), true, func(c *sim.Ctx) {
+		p.serve(c)
+	})
+}
+
+// Stats returns the wire-level traffic totals: the UDP message and data
+// counts the paper reports for TreadMarks.
+func (s *System) Stats() vnet.Stats { return s.net.WireStats() }
+
+// page is one processor's copy of a shared page.
+type page struct {
+	data  []byte     // nil means all-zero (never written locally)
+	valid bool       // false: must fetch missing diffs before access
+	twin  []byte     // pre-modification copy; non-nil while dirty
+	wn    []diffWant // write notices not yet applied locally
+}
+
+type diffKey struct {
+	page, proc, idx int
+}
+
+// plock is a processor's view of one lock.
+type plock struct {
+	owned     bool     // this proc holds the token (may re-acquire locally)
+	held      bool     // app thread is inside the critical section
+	awaiting  bool     // acquire request outstanding
+	releaseVC VC       // vc snapshot at the last release
+	releaseAt sim.Time // virtual time of the last release
+	nextGrant int      // queued requester (-1: none)
+	nextVC    VC       // queued requester's vc
+	mgrLast   int      // manager only: last processor to request the lock
+}
+
+type barrierState struct {
+	id      int
+	arrived []*barrMsg
+}
+
+// Proc is one TreadMarks processor.
+type Proc struct {
+	sys *System
+	id  int
+	app *sim.Ctx
+	ep  *vnet.Endpoint // application endpoint (replies arrive here)
+	srv *vnet.Endpoint // service endpoint (requests arrive here)
+
+	pages     []*page
+	vc        VC
+	recs      [][]*IntervalRec // [proc][idx], contiguous
+	diffs     map[diffKey]*Diff
+	dirty     []int // pages twinned in the current interval
+	locks     map[int]*plock
+	lastMgrVC VC // barrier manager's merged vc at the last departure
+	barrier   *barrierState
+
+	// Behavioral counters (not wire stats): useful for analysis output.
+	Faults       int
+	DiffRequests int
+	DiffsApplied int
+	DiffBytes    int64
+	LockMsgs     int
+	LockWait     sim.Time // time blocked in remote lock acquires
+	BarrierWait  sim.Time // time blocked in barriers
+}
+
+// ID returns the processor id.
+func (p *Proc) ID() int { return p.id }
+
+// N returns the number of processors.
+func (p *Proc) N() int { return p.sys.n }
+
+// Ctx exposes the application thread's sim context.
+func (p *Proc) Ctx() *sim.Ctx { return p.app }
+
+// Compute charges local computation time to the application thread.
+func (p *Proc) Compute(d sim.Time) { p.app.Compute(d) }
+
+// Now returns the application thread's virtual clock.
+func (p *Proc) Now() sim.Time { return p.app.Now() }
+
+// PageSize returns the page size.
+func (p *Proc) PageSize() int { return p.sys.cfg.PageSize }
+
+func (p *Proc) initPages() {
+	n := p.sys.Pages()
+	p.pages = make([]*page, n)
+	for i := 0; i < n; i++ {
+		pg := &page{valid: true}
+		if init, ok := p.sys.initial[i]; ok {
+			pg.data = append([]byte(nil), init...)
+		}
+		p.pages[i] = pg
+	}
+}
+
+func (p *Proc) lock(id int) *plock {
+	lk, ok := p.locks[id]
+	if !ok {
+		lk = &plock{nextGrant: -1, releaseVC: NewVC(p.sys.n)}
+		mgr := id % p.sys.n
+		if p.id == mgr {
+			lk.owned = true // locks start out owned by their manager
+			lk.mgrLast = mgr
+		}
+		p.locks[id] = lk
+	}
+	return lk
+}
+
+func (p *Proc) manager(lockID int) int { return lockID % p.sys.n }
+
+// ---------------------------------------------------------------------
+// Intervals and write notices.
+
+// closeInterval ends the current interval: every twinned page is diffed,
+// the diff cached, and an interval record published (paper §2.2.2).
+// No-op if nothing was written.
+func (p *Proc) closeInterval() {
+	if len(p.dirty) == 0 {
+		return
+	}
+	sort.Ints(p.dirty)
+	idx := int(p.vc[p.id])
+	rec := &IntervalRec{Proc: p.id, Idx: idx, Pages: append([]int(nil), p.dirty...)}
+	cfg := p.sys.cfg
+	for _, pid := range p.dirty {
+		pg := p.pages[pid]
+		if pg.twin == nil {
+			panic("tmk: dirty page without twin")
+		}
+		d := MakeDiff(pid, pg.twin, pg.getData(cfg.PageSize))
+		p.diffs[diffKey{pid, p.id, idx}] = d
+		pg.twin = nil
+		p.app.Compute(sim.Time(cfg.PageSize) * cfg.DiffCreatePerByte)
+	}
+	p.dirty = p.dirty[:0]
+	p.vc[p.id]++
+	rec.VC = p.vc.Clone() // timestamp includes the interval itself
+	p.recs[p.id] = append(p.recs[p.id], rec)
+}
+
+// applyRecords merges incoming interval records: stores them, advances
+// the vector clock, and invalidates pages written by other processors.
+func (p *Proc) applyRecords(recs []*IntervalRec) {
+	// Records may arrive batched out of order across processors; apply
+	// each processor's records in index order.
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Proc != recs[j].Proc {
+			return recs[i].Proc < recs[j].Proc
+		}
+		return recs[i].Idx < recs[j].Idx
+	})
+	for _, r := range recs {
+		have := len(p.recs[r.Proc])
+		if r.Idx < have {
+			continue // duplicate
+		}
+		if r.Idx > have {
+			panic(fmt.Sprintf("tmk: proc %d got interval %d/%d with only %d known",
+				p.id, r.Proc, r.Idx, have))
+		}
+		p.recs[r.Proc] = append(p.recs[r.Proc], r)
+		if int32(r.Idx+1) > p.vc[r.Proc] {
+			p.vc[r.Proc] = int32(r.Idx + 1)
+		}
+		if r.Proc == p.id {
+			continue // own writes: page copies are already current
+		}
+		for _, pid := range r.Pages {
+			pg := p.pages[pid]
+			if pg.twin != nil {
+				panic("tmk: write notice applied to a twinned page (interval not closed)")
+			}
+			pg.valid = false
+			pg.wn = append(pg.wn, diffWant{Proc: r.Proc, Idx: r.Idx})
+		}
+	}
+}
+
+// recordsNotCoveredBy collects every known interval record the given
+// timestamp has not seen, optionally bounded above by limit (records the
+// sender knew by its release).
+func (p *Proc) recordsNotCoveredBy(from VC, limit VC) []*IntervalRec {
+	var out []*IntervalRec
+	for q := 0; q < p.sys.n; q++ {
+		lo := int(from[q])
+		hi := len(p.recs[q])
+		if limit != nil && int(limit[q]) < hi {
+			hi = int(limit[q])
+		}
+		for i := lo; i < hi; i++ {
+			out = append(out, p.recs[q][i])
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Locks (paper §2.2.2: static manager, request forwarding, silent release).
+
+// LockAcquire acquires lock id (Tmk_lock_acquire).  If this processor was
+// the last holder and nobody has requested the lock since, the acquire is
+// local and costs no messages.
+func (p *Proc) LockAcquire(id int) {
+	// Scheduling point: let protocol events with earlier virtual times
+	// (e.g. a pending ownership forward) settle before we examine state.
+	p.app.Yield()
+	lk := p.lock(id)
+	if lk.held {
+		panic(fmt.Sprintf("tmk: proc %d re-acquiring held lock %d", p.id, id))
+	}
+	if lk.owned {
+		lk.held = true
+		return
+	}
+	p.closeInterval()
+	lk.awaiting = true
+	req := &acqMsg{Lock: id, Requester: p.id, VC: p.vc.Clone()}
+	mgr := p.manager(id)
+	if mgr == p.id {
+		// We are the manager: perform the manager step locally and
+		// forward straight to the last requester.
+		mlk := p.lock(id)
+		prev := mlk.mgrLast
+		mlk.mgrLast = p.id
+		if prev == p.id {
+			panic("tmk: manager re-requesting a lock it last requested but does not own")
+		}
+		p.ep.Send(p.app, p.sys.procs[prev].srv, tagAcqFwd, req.encode())
+		p.LockMsgs++
+	} else {
+		p.ep.Send(p.app, p.sys.procs[mgr].srv, tagAcqReq, req.encode())
+		p.LockMsgs++
+	}
+	t0 := p.app.Now()
+	m := p.ep.Recv(p.app, -1, tagGrant)
+	p.LockWait += p.app.Now() - t0
+	g := decodeGrant(m.Payload)
+	if g.Lock != id {
+		panic(fmt.Sprintf("tmk: proc %d got grant for lock %d while acquiring %d", p.id, g.Lock, id))
+	}
+	p.applyRecords(g.Records)
+	lk.awaiting = false
+	lk.owned = true
+	lk.held = true
+}
+
+// LockRelease releases lock id (Tmk_lock_release).  The release itself
+// sends no message; if another processor's request is queued here,
+// ownership transfers now.
+func (p *Proc) LockRelease(id int) {
+	lk := p.lock(id)
+	if !lk.held {
+		panic(fmt.Sprintf("tmk: proc %d releasing lock %d it does not hold", p.id, id))
+	}
+	p.closeInterval()
+	lk.held = false
+	lk.releaseVC = p.vc.Clone()
+	lk.releaseAt = p.app.Now()
+	if lk.nextGrant >= 0 {
+		p.sendGrant(p.app, p.ep, id, lk.nextGrant, lk.nextVC, lk.releaseVC)
+		lk.owned = false
+		lk.nextGrant = -1
+		lk.nextVC = nil
+	}
+	// Scheduling point so queued protocol work at earlier virtual times
+	// (e.g. a forward racing this release) settles before we run on.
+	p.app.Yield()
+}
+
+// sendGrant ships lock ownership and the write notices the requester
+// lacks, bounded by what this processor knew at its release.
+func (p *Proc) sendGrant(ctx *sim.Ctx, from *vnet.Endpoint, lockID, requester int, reqVC, limitVC VC) {
+	g := &grantMsg{Lock: lockID, Records: p.recordsNotCoveredBy(reqVC, limitVC)}
+	from.Send(ctx, p.sys.procs[requester].ep, tagGrant, g.encode())
+	p.LockMsgs++
+}
+
+// ---------------------------------------------------------------------
+// Barriers (centralized manager at processor 0; 2*(n-1) messages).
+
+// Barrier stalls the calling processor until all processors have arrived
+// at barrier id (Tmk_barrier).
+func (p *Proc) Barrier(id int) {
+	p.closeInterval()
+	arr := &barrMsg{
+		Barrier: id,
+		From:    p.id,
+		VC:      p.vc.Clone(),
+		Records: p.recordsNotCoveredBy(p.lastMgrVC, nil),
+	}
+	mgr := p.sys.procs[0]
+	p.ep.Send(p.app, mgr.srv, tagBarrArrive, arr.encode())
+	t0 := p.app.Now()
+	m := p.ep.Recv(p.app, 0, tagBarrDepart)
+	p.BarrierWait += p.app.Now() - t0
+	dep := decodeBarr(m.Payload)
+	if dep.Barrier != id {
+		panic(fmt.Sprintf("tmk: proc %d got departure for barrier %d while in %d", p.id, dep.Barrier, id))
+	}
+	p.applyRecords(dep.Records)
+	p.vc.Merge(dep.VC)
+	p.lastMgrVC = dep.VC.Clone()
+}
+
+// handleBarrArrive runs in processor 0's service daemon.
+func (p *Proc) handleBarrArrive(ctx *sim.Ctx, m *barrMsg) {
+	bs := p.barrier
+	if len(bs.arrived) == 0 {
+		bs.id = m.Barrier
+	} else if bs.id != m.Barrier {
+		panic(fmt.Sprintf("tmk: barrier mismatch: %d vs %d", bs.id, m.Barrier))
+	}
+	bs.arrived = append(bs.arrived, m)
+	if len(bs.arrived) < p.sys.n {
+		return
+	}
+	// All arrived: merge and redistribute.
+	merged := NewVC(p.sys.n)
+	union := map[[2]int]*IntervalRec{}
+	for _, a := range bs.arrived {
+		merged.Merge(a.VC)
+		for _, r := range a.Records {
+			union[[2]int{r.Proc, r.Idx}] = r
+		}
+	}
+	for _, a := range bs.arrived {
+		var out []*IntervalRec
+		for key, r := range union {
+			if int32(key[1]) >= a.VC[key[0]] { // client has not seen it
+				out = append(out, r)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Proc != out[j].Proc {
+				return out[i].Proc < out[j].Proc
+			}
+			return out[i].Idx < out[j].Idx
+		})
+		dep := &barrMsg{Barrier: bs.id, From: 0, VC: merged, Records: out}
+		p.srv.Send(ctx, p.sys.procs[a.From].ep, tagBarrDepart, dep.encode())
+	}
+	bs.arrived = nil
+	bs.id = -1
+}
+
+// ---------------------------------------------------------------------
+// Service daemon: answers lock requests, forwards, and diff requests.
+// It stands in for the real system's SIGIO handlers.
+
+func (p *Proc) serve(ctx *sim.Ctx) {
+	for {
+		m := p.srv.Recv(ctx, -1, -1)
+		ctx.Compute(p.sys.cfg.HandlerOverhead)
+		switch m.Tag {
+		case tagAcqReq:
+			req := decodeAcq(m.Payload)
+			lk := p.lock(req.Lock)
+			prev := lk.mgrLast
+			lk.mgrLast = req.Requester
+			if prev == p.id {
+				p.grantOrQueue(ctx, req)
+			} else {
+				p.srv.Send(ctx, p.sys.procs[prev].srv, tagAcqFwd, m.Payload)
+				p.LockMsgs++
+			}
+		case tagAcqFwd:
+			p.grantOrQueue(ctx, decodeAcq(m.Payload))
+		case tagBarrArrive:
+			if p.id != 0 {
+				panic("tmk: barrier arrival at non-manager")
+			}
+			p.handleBarrArrive(ctx, decodeBarr(m.Payload))
+		case tagDiffReq:
+			p.handleDiffReq(ctx, decodeDiffReq(m.Payload))
+		default:
+			panic(fmt.Sprintf("tmk: service got unexpected tag %d", m.Tag))
+		}
+	}
+}
+
+// grantOrQueue hands the lock to the requester if this processor is done
+// with it, or queues the request for the next release.
+func (p *Proc) grantOrQueue(ctx *sim.Ctx, req *acqMsg) {
+	lk := p.lock(req.Lock)
+	if !lk.owned && !lk.awaiting {
+		panic(fmt.Sprintf("tmk: proc %d got forward for lock %d it neither owns nor awaits",
+			p.id, req.Lock))
+	}
+	if lk.held || lk.awaiting {
+		if lk.nextGrant >= 0 {
+			panic("tmk: second queued lock requester")
+		}
+		lk.nextGrant = req.Requester
+		lk.nextVC = req.VC
+		return
+	}
+	// Lock is free.  Its release happened at lk.releaseAt; a grant cannot
+	// precede that release in virtual time.
+	if lk.releaseAt > ctx.Now() {
+		ctx.Compute(lk.releaseAt - ctx.Now())
+	}
+	p.sendGrant(ctx, p.srv, req.Lock, req.Requester, req.VC, lk.releaseVC)
+	lk.owned = false
+}
+
+// handleDiffReq returns the requested diffs, which by the protocol's
+// dominance argument this processor must hold (paper §2.2.2: a processor
+// that modified a page in an interval holds the diffs of all intervals
+// that precede it).
+func (p *Proc) handleDiffReq(ctx *sim.Ctx, req *diffReqMsg) {
+	resp := &diffRespMsg{Page: req.Page}
+	for _, w := range req.Wants {
+		d, ok := p.diffs[diffKey{req.Page, w.Proc, w.Idx}]
+		if !ok {
+			panic(fmt.Sprintf("tmk: proc %d asked for diff (page %d, proc %d, idx %d) it does not hold",
+				p.id, req.Page, w.Proc, w.Idx))
+		}
+		resp.Entries = append(resp.Entries, diffEntry{Proc: w.Proc, Idx: w.Idx, Diff: d})
+	}
+	p.srv.Send(ctx, p.sys.procs[req.Requester].ep, tagDiffResp, resp.encode())
+}
+
+// ---------------------------------------------------------------------
+// Access faults.
+
+// fault brings a page up to date: it determines the missing diffs,
+// requests them from a minimal set of previous writers, and applies all
+// pending diffs in happens-before order (paper §2.2.2).
+func (p *Proc) fault(pid int) {
+	cfg := p.sys.cfg
+	p.app.Compute(cfg.FaultOverhead)
+	p.Faults++
+	pg := p.pages[pid]
+
+	// Which write notices lack local diffs?
+	var missing []diffWant
+	for _, w := range pg.wn {
+		if _, ok := p.diffs[diffKey{pid, w.Proc, w.Idx}]; !ok {
+			missing = append(missing, w)
+		}
+	}
+
+	if len(missing) > 0 {
+		targets := p.minimalCover(pid, missing)
+		// Send all requests, then collect all responses (the real system
+		// overlaps them the same way).
+		for _, t := range targets {
+			req := &diffReqMsg{Page: pid, Requester: p.id, Wants: t.wants}
+			p.ep.Send(p.app, p.sys.procs[t.proc].srv, tagDiffReq, req.encode())
+			p.DiffRequests++
+		}
+		for _, t := range targets {
+			m := p.ep.Recv(p.app, t.proc, tagDiffResp)
+			resp := decodeDiffResp(m.Payload)
+			if resp.Page != pid {
+				panic("tmk: diff response for wrong page")
+			}
+			for _, e := range resp.Entries {
+				p.diffs[diffKey{pid, e.Proc, e.Idx}] = e.Diff
+			}
+		}
+	}
+
+	// Apply every pending notice's diff in happens-before order.
+	p.applyPending(pid)
+	pg.valid = true
+}
+
+// coverTarget is one processor to ask, and what to ask it for.
+type coverTarget struct {
+	proc  int
+	wants []diffWant
+}
+
+// minimalCover picks the subset of writers to contact: a writer whose
+// latest interval for the page is covered by another candidate's latest
+// interval need not be asked, because the dominating writer holds its
+// diffs too (paper §2.2.2).
+func (p *Proc) minimalCover(pid int, missing []diffWant) []coverTarget {
+	// Latest missing interval per candidate writer.
+	latest := map[int]*IntervalRec{}
+	var cands []int
+	for _, w := range missing {
+		rec := p.recs[w.Proc][w.Idx]
+		if cur, ok := latest[w.Proc]; !ok || rec.Idx > cur.Idx {
+			if !ok {
+				cands = append(cands, w.Proc)
+			}
+			latest[w.Proc] = rec
+		}
+	}
+	sort.Ints(cands)
+	// Drop dominated candidates.
+	var chosen []int
+	for _, q := range cands {
+		dominated := false
+		for _, r := range cands {
+			if r == q {
+				continue
+			}
+			if latest[q].VC.Before(latest[r].VC) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			chosen = append(chosen, q)
+		}
+	}
+	// Assign each missing diff to the first chosen writer that has seen it.
+	out := make([]coverTarget, 0, len(chosen))
+	byProc := map[int]*coverTarget{}
+	for _, q := range chosen {
+		out = append(out, coverTarget{proc: q})
+		byProc[q] = &out[len(out)-1]
+	}
+	for _, w := range missing {
+		rec := p.recs[w.Proc][w.Idx]
+		placed := false
+		for _, q := range chosen {
+			if latest[q].VC.Covers(rec.VC) {
+				byProc[q].wants = append(byProc[q].wants, w)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			panic("tmk: missing diff not covered by any chosen writer")
+		}
+	}
+	return out
+}
+
+// applyPending applies every outstanding diff for a page in increasing
+// timestamp order (topological in happens-before, deterministic ties).
+func (p *Proc) applyPending(pid int) {
+	pg := p.pages[pid]
+	if len(pg.wn) == 0 {
+		return
+	}
+	pending := append([]diffWant(nil), pg.wn...)
+	// Topological order: repeatedly take the happens-before-minimal
+	// notice; break ties by (proc, idx).
+	var order []diffWant
+	used := make([]bool, len(pending))
+	for len(order) < len(pending) {
+		best := -1
+		for i, w := range pending {
+			if used[i] {
+				continue
+			}
+			minimal := true
+			for j, x := range pending {
+				if used[j] || i == j {
+					continue
+				}
+				if p.recs[x.Proc][x.Idx].VC.Before(p.recs[w.Proc][w.Idx].VC) {
+					minimal = false
+					break
+				}
+			}
+			if !minimal {
+				continue
+			}
+			if best < 0 || w.Proc < pending[best].Proc ||
+				(w.Proc == pending[best].Proc && w.Idx < pending[best].Idx) {
+				best = i
+			}
+		}
+		if best < 0 {
+			panic("tmk: cycle in happens-before order")
+		}
+		used[best] = true
+		order = append(order, pending[best])
+	}
+	cfg := p.sys.cfg
+	data := pg.getData(cfg.PageSize)
+	for _, w := range order {
+		d := p.diffs[diffKey{pid, w.Proc, w.Idx}]
+		d.Apply(data)
+		p.DiffsApplied++
+		p.DiffBytes += int64(d.Size())
+		p.app.Compute(sim.Time(d.Size()) * cfg.DiffApplyPerByte)
+	}
+	pg.wn = pg.wn[:0]
+}
+
+func (pg *page) getData(pageSize int) []byte {
+	if pg.data == nil {
+		pg.data = make([]byte, pageSize)
+	}
+	return pg.data
+}
+
+// readable ensures the page is valid for reading.
+func (p *Proc) readable(pid int) *page {
+	pg := p.pages[pid]
+	if !pg.valid {
+		p.fault(pid)
+	}
+	return pg
+}
+
+// writable ensures the page is valid and twinned for writing; the first
+// write in an interval saves a twin and records the page as dirty.
+func (p *Proc) writable(pid int) *page {
+	pg := p.pages[pid]
+	if !pg.valid {
+		p.fault(pid)
+	}
+	if pg.twin == nil {
+		cfg := p.sys.cfg
+		pg.twin = append([]byte(nil), pg.getData(cfg.PageSize)...)
+		p.app.Compute(sim.Time(cfg.PageSize) * cfg.TwinPerByte)
+		p.dirty = append(p.dirty, pid)
+	}
+	return pg
+}

@@ -1,0 +1,57 @@
+package tmk
+
+// VC is a vector timestamp over the processors of a TreadMarks system.
+// vc[p] counts the intervals of processor p whose write notices the owner
+// of the clock has seen (equivalently: the index of p's next unseen
+// interval).  The happens-before-1 partial order of intervals (paper
+// §2.2.2) is represented by pointwise comparison of these vectors.
+type VC []int32
+
+// NewVC returns a zero vector timestamp for n processors.
+func NewVC(n int) VC { return make(VC, n) }
+
+// Clone returns a copy of v.
+func (v VC) Clone() VC {
+	c := make(VC, len(v))
+	copy(c, v)
+	return c
+}
+
+// Covers reports whether v >= w pointwise: everything w has seen, v has.
+func (v VC) Covers(w VC) bool {
+	for i := range v {
+		if v[i] < w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CoversInterval reports whether v has seen interval idx of processor p.
+func (v VC) CoversInterval(p, idx int) bool { return v[p] > int32(idx) }
+
+// Merge sets v to the pointwise maximum of v and w.
+func (v VC) Merge(w VC) {
+	for i := range v {
+		if w[i] > v[i] {
+			v[i] = w[i]
+		}
+	}
+}
+
+// Before reports strict happens-before: v <= w pointwise and v != w.
+func (v VC) Before(w VC) bool {
+	strict := false
+	for i := range v {
+		if v[i] > w[i] {
+			return false
+		}
+		if v[i] < w[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Concurrent reports that neither vector covers the other.
+func (v VC) Concurrent(w VC) bool { return !v.Covers(w) && !w.Covers(v) }

@@ -1,0 +1,115 @@
+package tmk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVCBasics(t *testing.T) {
+	v := NewVC(3)
+	w := NewVC(3)
+	if !v.Covers(w) || !w.Covers(v) {
+		t.Fatal("equal vectors must cover each other")
+	}
+	if v.Before(w) {
+		t.Fatal("equal vectors are not strictly ordered")
+	}
+	w[1] = 2
+	if !w.Covers(v) || v.Covers(w) {
+		t.Fatal("covers after bump")
+	}
+	if !v.Before(w) || w.Before(v) {
+		t.Fatal("before after bump")
+	}
+	v[0] = 1
+	if !v.Concurrent(w) {
+		t.Fatal("divergent vectors are concurrent")
+	}
+}
+
+func TestVCMerge(t *testing.T) {
+	v := VC{1, 5, 2}
+	w := VC{3, 1, 2}
+	v.Merge(w)
+	if v[0] != 3 || v[1] != 5 || v[2] != 2 {
+		t.Fatalf("merge = %v", v)
+	}
+}
+
+func TestVCCoversInterval(t *testing.T) {
+	v := VC{2, 0}
+	if !v.CoversInterval(0, 1) {
+		t.Fatal("should cover interval 1 of proc 0")
+	}
+	if v.CoversInterval(0, 2) {
+		t.Fatal("should not cover interval 2 of proc 0")
+	}
+	if v.CoversInterval(1, 0) {
+		t.Fatal("should not cover any interval of proc 1")
+	}
+}
+
+func TestVCCloneIndependent(t *testing.T) {
+	v := VC{1, 2}
+	c := v.Clone()
+	c[0] = 9
+	if v[0] != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+// randVC generates small random vectors for property tests.
+func randVC(r *rand.Rand, n int) VC {
+	v := NewVC(n)
+	for i := range v {
+		v[i] = int32(r.Intn(4))
+	}
+	return v
+}
+
+// Property: Covers is a partial order — reflexive, antisymmetric (up to
+// equality), transitive; Merge produces an upper bound.
+func TestVCPartialOrderProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randVC(r, 4), randVC(r, 4), randVC(r, 4)
+		if !a.Covers(a) {
+			return false
+		}
+		if a.Covers(b) && b.Covers(c) && !a.Covers(c) {
+			return false
+		}
+		m := a.Clone()
+		m.Merge(b)
+		if !m.Covers(a) || !m.Covers(b) {
+			return false
+		}
+		// Before is irreflexive and asymmetric.
+		if a.Before(a) {
+			return false
+		}
+		if a.Before(b) && b.Before(a) {
+			return false
+		}
+		// Exactly one of: a==b, a<b, b<a, concurrent.
+		eq := a.Covers(b) && b.Covers(a)
+		states := 0
+		if eq {
+			states++
+		}
+		if a.Before(b) {
+			states++
+		}
+		if b.Before(a) {
+			states++
+		}
+		if a.Concurrent(b) {
+			states++
+		}
+		return states == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,296 @@
+package tmk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file implements the access layer of the DSM: every read or write of
+// shared memory goes through a software access check that stands in for
+// the virtual-memory protection hardware of the original system.  An
+// access to an invalidated page triggers the fault handler (diff fetch);
+// the first write to a page in an interval creates a twin.  Valid-page
+// accesses charge no virtual time: the real system's post-fault accesses
+// are ordinary loads and stores.
+
+func putU32(b []byte, v uint32)  { binary.LittleEndian.PutUint32(b, v) }
+func putU64(b []byte, v uint64)  { binary.LittleEndian.PutUint64(b, v) }
+func putF64(b []byte, v float64) { putU64(b, math.Float64bits(v)) }
+func getU32(b []byte) uint32     { return binary.LittleEndian.Uint32(b) }
+func getU64(b []byte) uint64     { return binary.LittleEndian.Uint64(b) }
+func getF64(b []byte) float64    { return math.Float64frombits(getU64(b)) }
+
+// loc validates an access of size bytes at address a and returns the page
+// id and in-page offset.  Allocations are 8-byte aligned and the page size
+// is a multiple of 8, so naturally aligned scalars never straddle pages.
+func (p *Proc) loc(a Addr, size int) (int, int) {
+	if a < 0 || int(a)+size > int(p.sys.brk) {
+		panic(fmt.Sprintf("tmk: access of %d bytes at %d outside shared space [0,%d)", size, a, p.sys.brk))
+	}
+	if int(a)%size != 0 {
+		panic(fmt.Sprintf("tmk: misaligned %d-byte access at %d", size, a))
+	}
+	ps := p.sys.cfg.PageSize
+	return int(a) / ps, int(a) % ps
+}
+
+// ReadF64 reads a shared float64.
+func (p *Proc) ReadF64(a Addr) float64 {
+	pid, off := p.loc(a, 8)
+	pg := p.readable(pid)
+	if pg.data == nil {
+		return 0
+	}
+	return getF64(pg.data[off:])
+}
+
+// WriteF64 writes a shared float64.
+func (p *Proc) WriteF64(a Addr, v float64) {
+	pid, off := p.loc(a, 8)
+	pg := p.writable(pid)
+	putF64(pg.data[off:], v)
+}
+
+// ReadI32 reads a shared int32.
+func (p *Proc) ReadI32(a Addr) int32 {
+	pid, off := p.loc(a, 4)
+	pg := p.readable(pid)
+	if pg.data == nil {
+		return 0
+	}
+	return int32(getU32(pg.data[off:]))
+}
+
+// WriteI32 writes a shared int32.
+func (p *Proc) WriteI32(a Addr, v int32) {
+	pid, off := p.loc(a, 4)
+	pg := p.writable(pid)
+	putU32(pg.data[off:], uint32(v))
+}
+
+// ReadI64 reads a shared int64.
+func (p *Proc) ReadI64(a Addr) int64 {
+	pid, off := p.loc(a, 8)
+	pg := p.readable(pid)
+	if pg.data == nil {
+		return 0
+	}
+	return int64(getU64(pg.data[off:]))
+}
+
+// WriteI64 writes a shared int64.
+func (p *Proc) WriteI64(a Addr, v int64) {
+	pid, off := p.loc(a, 8)
+	pg := p.writable(pid)
+	putU64(pg.data[off:], uint64(v))
+}
+
+// forPages walks [a, a+n) page by page, handing the callback each
+// (page-id, in-page offset, byte count, running byte offset).
+func (p *Proc) forPages(a Addr, n int, fn func(pid, off, cnt, done int)) {
+	if a < 0 || int(a)+n > int(p.sys.brk) {
+		panic(fmt.Sprintf("tmk: range [%d,%d) outside shared space", a, int(a)+n))
+	}
+	ps := p.sys.cfg.PageSize
+	done := 0
+	for done < n {
+		pid := (int(a) + done) / ps
+		off := (int(a) + done) % ps
+		cnt := ps - off
+		if cnt > n-done {
+			cnt = n - done
+		}
+		fn(pid, off, cnt, done)
+		done += cnt
+	}
+}
+
+// F64Array is a typed window onto shared memory.
+type F64Array struct {
+	p    *Proc
+	base Addr
+	n    int
+}
+
+// F64Array views n float64 values starting at base.
+func (p *Proc) F64Array(base Addr, n int) F64Array {
+	p.loc(base, 8) // validate base alignment and start bound
+	return F64Array{p: p, base: base, n: n}
+}
+
+// Len returns the element count.
+func (a F64Array) Len() int { return a.n }
+
+// Addr returns the address of element i.
+func (a F64Array) Addr(i int) Addr { return a.base + Addr(8*i) }
+
+func (a F64Array) check(i int) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("tmk: index %d out of range [0,%d)", i, a.n))
+	}
+}
+
+// At reads element i.
+func (a F64Array) At(i int) float64 {
+	a.check(i)
+	return a.p.ReadF64(a.base + Addr(8*i))
+}
+
+// Set writes element i.
+func (a F64Array) Set(i int, v float64) {
+	a.check(i)
+	a.p.WriteF64(a.base+Addr(8*i), v)
+}
+
+// Load copies elements [lo,hi) into dst (bulk read: one access check per
+// page rather than per element).
+func (a F64Array) Load(dst []float64, lo, hi int) {
+	a.check(lo)
+	if hi < lo || hi > a.n {
+		panic("tmk: bad Load range")
+	}
+	if len(dst) < hi-lo {
+		panic("tmk: Load dst too short")
+	}
+	a.p.forPages(a.base+Addr(8*lo), 8*(hi-lo), func(pid, off, cnt, done int) {
+		pg := a.p.readable(pid)
+		base := done / 8
+		if pg.data == nil {
+			for i := 0; i < cnt/8; i++ {
+				dst[base+i] = 0
+			}
+			return
+		}
+		for i := 0; i < cnt/8; i++ {
+			dst[base+i] = getF64(pg.data[off+8*i:])
+		}
+	})
+}
+
+// Store copies src into elements starting at lo (bulk write).
+func (a F64Array) Store(src []float64, lo int) {
+	if len(src) == 0 {
+		return
+	}
+	a.check(lo)
+	a.check(lo + len(src) - 1)
+	a.p.forPages(a.base+Addr(8*lo), 8*len(src), func(pid, off, cnt, done int) {
+		pg := a.p.writable(pid)
+		base := done / 8
+		for i := 0; i < cnt/8; i++ {
+			putF64(pg.data[off+8*i:], src[base+i])
+		}
+	})
+}
+
+// I32Array is a typed int32 window onto shared memory.
+type I32Array struct {
+	p    *Proc
+	base Addr
+	n    int
+}
+
+// I32Array views n int32 values starting at base.
+func (p *Proc) I32Array(base Addr, n int) I32Array {
+	p.loc(base, 4)
+	return I32Array{p: p, base: base, n: n}
+}
+
+// Len returns the element count.
+func (a I32Array) Len() int { return a.n }
+
+// Addr returns the address of element i.
+func (a I32Array) Addr(i int) Addr { return a.base + Addr(4*i) }
+
+func (a I32Array) check(i int) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("tmk: index %d out of range [0,%d)", i, a.n))
+	}
+}
+
+// At reads element i.
+func (a I32Array) At(i int) int32 {
+	a.check(i)
+	return a.p.ReadI32(a.base + Addr(4*i))
+}
+
+// Set writes element i.
+func (a I32Array) Set(i int, v int32) {
+	a.check(i)
+	a.p.WriteI32(a.base+Addr(4*i), v)
+}
+
+// Load copies elements [lo,hi) into dst.
+func (a I32Array) Load(dst []int32, lo, hi int) {
+	a.check(lo)
+	if hi < lo || hi > a.n {
+		panic("tmk: bad Load range")
+	}
+	if len(dst) < hi-lo {
+		panic("tmk: Load dst too short")
+	}
+	a.p.forPages(a.base+Addr(4*lo), 4*(hi-lo), func(pid, off, cnt, done int) {
+		pg := a.p.readable(pid)
+		base := done / 4
+		if pg.data == nil {
+			for i := 0; i < cnt/4; i++ {
+				dst[base+i] = 0
+			}
+			return
+		}
+		for i := 0; i < cnt/4; i++ {
+			dst[base+i] = int32(getU32(pg.data[off+4*i:]))
+		}
+	})
+}
+
+// Store copies src into elements starting at lo.
+func (a I32Array) Store(src []int32, lo int) {
+	if len(src) == 0 {
+		return
+	}
+	a.check(lo)
+	a.check(lo + len(src) - 1)
+	a.p.forPages(a.base+Addr(4*lo), 4*len(src), func(pid, off, cnt, done int) {
+		pg := a.p.writable(pid)
+		base := done / 4
+		for i := 0; i < cnt/4; i++ {
+			putU32(pg.data[off+4*i:], uint32(src[base+i]))
+		}
+	})
+}
+
+// I64Array is a typed int64 window onto shared memory.
+type I64Array struct {
+	p    *Proc
+	base Addr
+	n    int
+}
+
+// I64Array views n int64 values starting at base.
+func (p *Proc) I64Array(base Addr, n int) I64Array {
+	p.loc(base, 8)
+	return I64Array{p: p, base: base, n: n}
+}
+
+// Len returns the element count.
+func (a I64Array) Len() int { return a.n }
+
+func (a I64Array) check(i int) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("tmk: index %d out of range [0,%d)", i, a.n))
+	}
+}
+
+// At reads element i.
+func (a I64Array) At(i int) int64 {
+	a.check(i)
+	return a.p.ReadI64(a.base + Addr(8*i))
+}
+
+// Set writes element i.
+func (a I64Array) Set(i int, v int64) {
+	a.check(i)
+	a.p.WriteI64(a.base+Addr(8*i), v)
+}

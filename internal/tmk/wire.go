@@ -1,0 +1,302 @@
+package tmk
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Protocol message tags.  Requests go to a processor's service endpoint;
+// replies go to the requesting processor's application endpoint.
+const (
+	tagAcqReq     = 100 + iota // app -> lock manager service
+	tagAcqFwd                  // manager service -> last owner's service
+	tagGrant                   // owner -> requester app
+	tagBarrArrive              // client app -> barrier manager service
+	tagBarrDepart              // barrier manager service -> client app
+	tagDiffReq                 // faulting app -> writer's service
+	tagDiffResp                // writer's service -> faulting app
+)
+
+// wbuf is a little-endian wire encoder.
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v int)  { w.b = append(w.b, byte(v)) }
+func (w *wbuf) u16(v int) { w.b = binary.LittleEndian.AppendUint16(w.b, uint16(v)) }
+func (w *wbuf) u32(v int) { w.b = binary.LittleEndian.AppendUint32(w.b, uint32(v)) }
+func (w *wbuf) i64(v int64) {
+	w.b = binary.LittleEndian.AppendUint64(w.b, uint64(v))
+}
+func (w *wbuf) bytes(p []byte) { w.b = append(w.b, p...) }
+func (w *wbuf) vc(v VC) {
+	w.u16(len(v))
+	for _, x := range v {
+		w.u32(int(x))
+	}
+}
+
+// rbuf is the matching decoder.
+type rbuf struct {
+	b   []byte
+	pos int
+}
+
+func (r *rbuf) need(n int) {
+	if r.pos+n > len(r.b) {
+		panic(fmt.Sprintf("tmk: wire decode past end (pos %d + %d > %d)", r.pos, n, len(r.b)))
+	}
+}
+func (r *rbuf) u8() int {
+	r.need(1)
+	v := int(r.b[r.pos])
+	r.pos++
+	return v
+}
+func (r *rbuf) u16() int {
+	r.need(2)
+	v := int(binary.LittleEndian.Uint16(r.b[r.pos:]))
+	r.pos += 2
+	return v
+}
+func (r *rbuf) u32() int {
+	r.need(4)
+	v := int(binary.LittleEndian.Uint32(r.b[r.pos:]))
+	r.pos += 4
+	return v
+}
+func (r *rbuf) i64() int64 {
+	r.need(8)
+	v := int64(binary.LittleEndian.Uint64(r.b[r.pos:]))
+	r.pos += 8
+	return v
+}
+func (r *rbuf) bytes(n int) []byte {
+	r.need(n)
+	v := append([]byte(nil), r.b[r.pos:r.pos+n]...)
+	r.pos += n
+	return v
+}
+func (r *rbuf) vc() VC {
+	n := r.u16()
+	v := make(VC, n)
+	for i := range v {
+		v[i] = int32(r.u32())
+	}
+	return v
+}
+func (r *rbuf) done() {
+	if r.pos != len(r.b) {
+		panic(fmt.Sprintf("tmk: %d trailing wire bytes", len(r.b)-r.pos))
+	}
+}
+
+// IntervalRec is a write-notice record: one interval of one processor,
+// its vector timestamp, and the pages it modified (paper §2.2.2).
+type IntervalRec struct {
+	Proc  int
+	Idx   int
+	VC    VC
+	Pages []int
+}
+
+// encodeRecords writes interval records; write-notice page lists are
+// encoded as run-length ranges, since applications overwhelmingly write
+// contiguous page runs (SOR bands, FFT planes, bucket arrays).  The lists
+// are sorted by construction (closeInterval sorts the dirty set).
+func encodeRecords(w *wbuf, recs []*IntervalRec) {
+	w.u32(len(recs))
+	for _, r := range recs {
+		w.u16(r.Proc)
+		w.u32(r.Idx)
+		w.vc(r.VC)
+		type rng struct{ start, n int }
+		var runs []rng
+		for _, pg := range r.Pages {
+			if len(runs) > 0 && pg == runs[len(runs)-1].start+runs[len(runs)-1].n {
+				runs[len(runs)-1].n++
+				continue
+			}
+			runs = append(runs, rng{pg, 1})
+		}
+		w.u32(len(runs))
+		for _, rn := range runs {
+			w.u32(rn.start)
+			w.u32(rn.n)
+		}
+	}
+}
+
+func decodeRecords(r *rbuf) []*IntervalRec {
+	n := r.u32()
+	recs := make([]*IntervalRec, n)
+	for i := range recs {
+		rec := &IntervalRec{Proc: r.u16(), Idx: r.u32(), VC: r.vc()}
+		nr := r.u32()
+		for j := 0; j < nr; j++ {
+			start := r.u32()
+			cnt := r.u32()
+			for k := 0; k < cnt; k++ {
+				rec.Pages = append(rec.Pages, start+k)
+			}
+		}
+		recs[i] = rec
+	}
+	return recs
+}
+
+// acqMsg is a lock acquire request or forward.
+type acqMsg struct {
+	Lock      int
+	Requester int
+	VC        VC
+}
+
+func (m *acqMsg) encode() []byte {
+	var w wbuf
+	w.u16(m.Lock)
+	w.u16(m.Requester)
+	w.vc(m.VC)
+	return w.b
+}
+
+func decodeAcq(b []byte) *acqMsg {
+	r := rbuf{b: b}
+	m := &acqMsg{Lock: r.u16(), Requester: r.u16(), VC: r.vc()}
+	r.done()
+	return m
+}
+
+// grantMsg transfers lock ownership along with the write notices the
+// requester has not yet seen.
+type grantMsg struct {
+	Lock    int
+	Records []*IntervalRec
+}
+
+func (m *grantMsg) encode() []byte {
+	var w wbuf
+	w.u16(m.Lock)
+	encodeRecords(&w, m.Records)
+	return w.b
+}
+
+func decodeGrant(b []byte) *grantMsg {
+	r := rbuf{b: b}
+	m := &grantMsg{Lock: r.u16()}
+	m.Records = decodeRecords(&r)
+	r.done()
+	return m
+}
+
+// barrMsg is a barrier arrival (client -> manager) or departure
+// (manager -> client).
+type barrMsg struct {
+	Barrier int
+	From    int
+	VC      VC
+	Records []*IntervalRec
+}
+
+func (m *barrMsg) encode() []byte {
+	var w wbuf
+	w.u16(m.Barrier)
+	w.u16(m.From)
+	w.vc(m.VC)
+	encodeRecords(&w, m.Records)
+	return w.b
+}
+
+func decodeBarr(b []byte) *barrMsg {
+	r := rbuf{b: b}
+	m := &barrMsg{Barrier: r.u16(), From: r.u16(), VC: r.vc()}
+	m.Records = decodeRecords(&r)
+	r.done()
+	return m
+}
+
+// diffWant names one missing diff: interval Idx of processor Proc.
+type diffWant struct {
+	Proc int
+	Idx  int
+}
+
+// diffReqMsg asks a processor for the named diffs of one page.
+type diffReqMsg struct {
+	Page      int
+	Requester int
+	Wants     []diffWant
+}
+
+func (m *diffReqMsg) encode() []byte {
+	var w wbuf
+	w.u32(m.Page)
+	w.u16(m.Requester)
+	w.u16(len(m.Wants))
+	for _, d := range m.Wants {
+		w.u16(d.Proc)
+		w.u32(d.Idx)
+	}
+	return w.b
+}
+
+func decodeDiffReq(b []byte) *diffReqMsg {
+	r := rbuf{b: b}
+	m := &diffReqMsg{Page: r.u32(), Requester: r.u16()}
+	n := r.u16()
+	m.Wants = make([]diffWant, n)
+	for i := range m.Wants {
+		m.Wants[i] = diffWant{Proc: r.u16(), Idx: r.u32()}
+	}
+	r.done()
+	return m
+}
+
+// diffEntry is one diff on the wire, tagged with its creating interval.
+type diffEntry struct {
+	Proc int
+	Idx  int
+	Diff *Diff
+}
+
+// diffRespMsg returns the requested diffs for one page.
+type diffRespMsg struct {
+	Page    int
+	Entries []diffEntry
+}
+
+func (m *diffRespMsg) encode() []byte {
+	var w wbuf
+	w.u32(m.Page)
+	w.u16(len(m.Entries))
+	for _, e := range m.Entries {
+		w.u16(e.Proc)
+		w.u32(e.Idx)
+		w.u16(len(e.Diff.Runs))
+		for _, run := range e.Diff.Runs {
+			w.u16(run.Off)
+			w.u16(len(run.Data))
+			w.bytes(run.Data)
+		}
+	}
+	return w.b
+}
+
+func decodeDiffResp(b []byte) *diffRespMsg {
+	r := rbuf{b: b}
+	m := &diffRespMsg{Page: r.u32()}
+	n := r.u16()
+	m.Entries = make([]diffEntry, n)
+	for i := range m.Entries {
+		e := diffEntry{Proc: r.u16(), Idx: r.u32()}
+		nr := r.u16()
+		d := &Diff{Page: m.Page}
+		for j := 0; j < nr; j++ {
+			off := r.u16()
+			ln := r.u16()
+			d.Runs = append(d.Runs, Run{Off: off, Data: r.bytes(ln)})
+		}
+		e.Diff = d
+		m.Entries[i] = e
+	}
+	r.done()
+	return m
+}

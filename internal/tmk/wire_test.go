@@ -1,0 +1,136 @@
+package tmk
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestAcqMsgRoundTrip(t *testing.T) {
+	m := &acqMsg{Lock: 7, Requester: 3, VC: VC{1, 0, 4}}
+	got := decodeAcq(m.encode())
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("got %+v want %+v", got, m)
+	}
+}
+
+func TestGrantMsgRoundTrip(t *testing.T) {
+	m := &grantMsg{
+		Lock: 2,
+		Records: []*IntervalRec{
+			{Proc: 0, Idx: 3, VC: VC{4, 1}, Pages: []int{7, 9, 11}},
+			{Proc: 1, Idx: 0, VC: VC{0, 1}, Pages: nil},
+		},
+	}
+	got := decodeGrant(m.encode())
+	if got.Lock != 2 || len(got.Records) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	r0 := got.Records[0]
+	if r0.Proc != 0 || r0.Idx != 3 || !reflect.DeepEqual(r0.VC, VC{4, 1}) ||
+		!reflect.DeepEqual(r0.Pages, []int{7, 9, 11}) {
+		t.Fatalf("record 0 = %+v", r0)
+	}
+	if len(got.Records[1].Pages) != 0 {
+		t.Fatalf("record 1 pages = %v", got.Records[1].Pages)
+	}
+}
+
+func TestBarrMsgRoundTrip(t *testing.T) {
+	m := &barrMsg{
+		Barrier: 5, From: 2, VC: VC{9, 8, 7},
+		Records: []*IntervalRec{{Proc: 2, Idx: 8, VC: VC{9, 8, 7}, Pages: []int{1}}},
+	}
+	got := decodeBarr(m.encode())
+	if got.Barrier != 5 || got.From != 2 || !reflect.DeepEqual(got.VC, VC{9, 8, 7}) {
+		t.Fatalf("got %+v", got)
+	}
+	if len(got.Records) != 1 || got.Records[0].Pages[0] != 1 {
+		t.Fatalf("records = %+v", got.Records)
+	}
+}
+
+func TestDiffReqMsgRoundTrip(t *testing.T) {
+	m := &diffReqMsg{Page: 42, Requester: 6,
+		Wants: []diffWant{{Proc: 1, Idx: 9}, {Proc: 3, Idx: 0}}}
+	got := decodeDiffReq(m.encode())
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("got %+v want %+v", got, m)
+	}
+}
+
+func TestDiffRespMsgRoundTrip(t *testing.T) {
+	d := &Diff{Page: 42, Runs: []Run{{Off: 16, Data: []byte{1, 2, 3}}, {Off: 100, Data: []byte{9}}}}
+	m := &diffRespMsg{Page: 42, Entries: []diffEntry{{Proc: 2, Idx: 5, Diff: d}}}
+	got := decodeDiffResp(m.encode())
+	if got.Page != 42 || len(got.Entries) != 1 {
+		t.Fatalf("got %+v", got)
+	}
+	e := got.Entries[0]
+	if e.Proc != 2 || e.Idx != 5 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if len(e.Diff.Runs) != 2 || e.Diff.Runs[0].Off != 16 ||
+		!bytes.Equal(e.Diff.Runs[0].Data, []byte{1, 2, 3}) ||
+		e.Diff.Runs[1].Off != 100 || !bytes.Equal(e.Diff.Runs[1].Data, []byte{9}) {
+		t.Fatalf("diff = %+v", e.Diff)
+	}
+}
+
+func TestWireSizeTracksPayload(t *testing.T) {
+	small := (&grantMsg{Lock: 1}).encode()
+	big := (&grantMsg{Lock: 1, Records: []*IntervalRec{
+		{Proc: 0, Idx: 0, VC: VC{1, 0, 0, 0}, Pages: make([]int, 100)},
+	}}).encode()
+	if len(big) <= len(small)+300 {
+		t.Fatalf("100-page record should add >=400 bytes: %d vs %d", len(big), len(small))
+	}
+}
+
+func TestDecodeTrailingBytesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on trailing bytes")
+		}
+	}()
+	b := (&acqMsg{Lock: 1, Requester: 0, VC: VC{0}}).encode()
+	decodeAcq(append(b, 0xFF))
+}
+
+func TestDecodeTruncatedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on truncation")
+		}
+	}()
+	b := (&acqMsg{Lock: 1, Requester: 0, VC: VC{0, 0}}).encode()
+	decodeAcq(b[:3])
+}
+
+// Contiguous page lists compress to ranges on the wire.
+func TestRecordPageRangeCompression(t *testing.T) {
+	pages := make([]int, 400)
+	for i := range pages {
+		pages[i] = 100 + i
+	}
+	big := (&grantMsg{Lock: 1, Records: []*IntervalRec{
+		{Proc: 0, Idx: 0, VC: VC{1, 0}, Pages: pages},
+	}}).encode()
+	if len(big) > 80 {
+		t.Fatalf("contiguous 400-page record encodes to %d bytes, want small", len(big))
+	}
+	got := decodeGrant(big)
+	if len(got.Records[0].Pages) != 400 || got.Records[0].Pages[399] != 499 {
+		t.Fatalf("round trip lost pages: %d", len(got.Records[0].Pages))
+	}
+	scattered := []int{1, 5, 6, 7, 100}
+	b := (&grantMsg{Lock: 1, Records: []*IntervalRec{
+		{Proc: 1, Idx: 2, VC: VC{0, 3}, Pages: scattered},
+	}}).encode()
+	got = decodeGrant(b)
+	for i, pg := range scattered {
+		if got.Records[0].Pages[i] != pg {
+			t.Fatalf("scattered round trip: %v", got.Records[0].Pages)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package vnet models the interconnect of a 1995-era workstation cluster:
+// a 100 Mbit/s FDDI ring carrying UDP datagrams (used by TreadMarks) and
+// direct TCP connections (used by PVM).
+//
+// The model is a LogP-style cost model layered on the sim engine:
+//
+//   - the sender's clock advances by SendOverhead plus the transmit
+//     serialization time (bytes at the link bandwidth) per fragment;
+//   - the message arrives Latency after it has been fully transmitted;
+//   - the receiver's clock advances by RecvOverhead plus a per-byte copy
+//     cost when it consumes the message.
+//
+// Datagram (UDP) endpoints fragment payloads larger than the MTU and count
+// every fragment as a wire message, reproducing the accounting the paper
+// uses for TreadMarks ("total number of UDP messages and total amount of
+// data").  Stream (TCP) endpoints count one message per user send with no
+// header bytes, matching the paper's user-level accounting for PVM.
+package vnet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config holds the network cost model.
+type Config struct {
+	SendOverhead sim.Time // per-fragment CPU cost at the sender
+	RecvOverhead sim.Time // per-fragment CPU cost at the receiver
+	Latency      sim.Time // wire latency after full transmission
+	BytesPerSec  int64    // link bandwidth
+	RecvPerByte  sim.Time // per-byte copy cost at the receiver
+	MTU          int      // datagram fragmentation threshold (payload bytes)
+	HeaderBytes  int      // per-fragment wire header (datagram endpoints)
+
+	// Same-node delivery (e.g. a process messaging its own protocol
+	// daemon) goes through loopback: cheap, and never counted as wire
+	// traffic.
+	LocalOverhead sim.Time
+	LocalDelay    sim.Time
+}
+
+// FDDI returns the default cost model: 100 Mbit/s FDDI with early-1990s
+// kernel UDP/TCP stacks.  A minimal one-way message costs roughly 300 µs
+// and a 4 KB page transfer roughly 700 µs, consistent with the ~1-2 ms
+// page-fault round trips reported for TreadMarks on this class of hardware.
+func FDDI() Config {
+	return Config{
+		SendOverhead: 120 * sim.Microsecond,
+		RecvOverhead: 120 * sim.Microsecond,
+		Latency:      60 * sim.Microsecond,
+		BytesPerSec:  100 * 1000 * 1000 / 8, // 100 Mbit/s
+		RecvPerByte:  8 * sim.Nanosecond,
+		MTU:          16 * 1024,
+		HeaderBytes:  40, // IP + UDP + protocol header
+
+		LocalOverhead: 15 * sim.Microsecond,
+		LocalDelay:    5 * sim.Microsecond,
+	}
+}
+
+// transmit returns the serialization time for n bytes.
+func (c Config) transmit(n int) sim.Time {
+	if c.BytesPerSec <= 0 {
+		return 0
+	}
+	return sim.Time(int64(n) * int64(sim.Second) / c.BytesPerSec)
+}
+
+// Message is a delivered payload plus metadata.
+type Message struct {
+	From    int
+	To      int
+	Tag     int
+	Payload []byte
+	Arrival sim.Time
+	seq     uint64
+	local   bool // loopback delivery: cheap receive, no wire accounting
+}
+
+// Stats counts traffic through one accounting domain.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Messages += other.Messages
+	s.Bytes += other.Bytes
+}
+
+// Kilobytes reports Bytes in units of 1000 bytes (the paper's "Kilobytes").
+func (s Stats) Kilobytes() float64 { return float64(s.Bytes) / 1000 }
+
+// Network is a cluster interconnect shared by a set of endpoints.
+type Network struct {
+	cfg   Config
+	seq   uint64
+	stats Stats // wire-level totals across all endpoints
+}
+
+// New creates a network with the given cost model.
+func New(cfg Config) *Network {
+	return &Network{cfg: cfg}
+}
+
+// Config returns the network's cost model.
+func (n *Network) Config() Config { return n.cfg }
+
+// WireStats returns wire-level totals (all endpoints, fragments counted).
+func (n *Network) WireStats() Stats { return n.stats }
+
+// Endpoint is one node's attachment point.  An endpoint is single-owner:
+// exactly one sim proc consumes from it (others may send to it).
+type Endpoint struct {
+	net      *Network
+	node     int
+	inbox    []*Message
+	datagram bool // true: UDP accounting (fragments, headers)
+	stats    Stats
+}
+
+// NewEndpoint attaches node to the network.  datagram selects UDP
+// accounting (fragmentation, per-fragment headers); otherwise the endpoint
+// behaves like a direct TCP connection (one message per send).
+func (n *Network) NewEndpoint(node int, datagram bool) *Endpoint {
+	return &Endpoint{net: n, node: node, datagram: datagram}
+}
+
+// Node returns the endpoint's node id.
+func (e *Endpoint) Node() int { return e.node }
+
+// Stats returns the endpoint's accounting totals (its sends only).
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// Send transmits payload to dst with the given tag, charging the sender's
+// clock and scheduling arrival.  The payload is not copied; callers must
+// not mutate it after sending.  Returns the number of wire messages.
+func (e *Endpoint) Send(ctx *sim.Ctx, dst *Endpoint, tag int, payload []byte) int {
+	if dst == nil {
+		panic("vnet: send to nil endpoint")
+	}
+	cfg := e.net.cfg
+	if dst.node == e.node {
+		// Loopback: a process talking to another process (or daemon) on
+		// its own node.  No wire traffic, no accounting.
+		ctx.Compute(cfg.LocalOverhead)
+		e.net.seq++
+		m := &Message{From: e.node, To: dst.node, Tag: tag, Payload: payload,
+			Arrival: ctx.Now() + cfg.LocalDelay, seq: e.net.seq, local: true}
+		dst.inbox = append(dst.inbox, m)
+		return 1
+	}
+	frags := 1
+	if e.datagram && cfg.MTU > 0 && len(payload) > cfg.MTU {
+		frags = (len(payload) + cfg.MTU - 1) / cfg.MTU
+	}
+	// Charge the sender: per-fragment overhead plus serialization.
+	wireBytes := int64(len(payload))
+	if e.datagram {
+		wireBytes += int64(frags * cfg.HeaderBytes)
+	}
+	ctx.Compute(sim.Time(frags)*cfg.SendOverhead + cfg.transmit(int(wireBytes)))
+	arrival := ctx.Now() + cfg.Latency
+
+	e.net.seq++
+	m := &Message{From: e.node, To: dst.node, Tag: tag, Payload: payload, Arrival: arrival, seq: e.net.seq}
+	dst.inbox = append(dst.inbox, m)
+
+	// Accounting.
+	if e.datagram {
+		e.stats.Messages += int64(frags)
+		e.stats.Bytes += wireBytes
+		e.net.stats.Messages += int64(frags)
+		e.net.stats.Bytes += wireBytes
+	} else {
+		e.stats.Messages++
+		e.stats.Bytes += int64(len(payload))
+		e.net.stats.Messages++
+		e.net.stats.Bytes += int64(len(payload))
+	}
+	return frags
+}
+
+// match reports whether m satisfies the (from, tag) filter; negative
+// values are wildcards.
+func match(m *Message, from, tag int) bool {
+	return (from < 0 || m.From == from) && (tag < 0 || m.Tag == tag)
+}
+
+// earliest returns the index of the earliest matching message, or -1.
+func (e *Endpoint) earliest(from, tag int) int {
+	best := -1
+	for i, m := range e.inbox {
+		if !match(m, from, tag) {
+			continue
+		}
+		if best < 0 || m.Arrival < e.inbox[best].Arrival ||
+			(m.Arrival == e.inbox[best].Arrival && m.seq < e.inbox[best].seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Recv blocks until a message matching (from, tag) arrives, consumes it,
+// and charges the receiver's clock.  Negative from/tag are wildcards.
+func (e *Endpoint) Recv(ctx *sim.Ctx, from, tag int) *Message {
+	what := fmt.Sprintf("recv(node=%d from=%d tag=%d)", e.node, from, tag)
+	ctx.Wait(what, func() (sim.Time, bool) {
+		i := e.earliest(from, tag)
+		if i < 0 {
+			return 0, false
+		}
+		return e.inbox[i].Arrival, true
+	})
+	i := e.earliest(from, tag)
+	if i < 0 {
+		panic("vnet: woke with no matching message")
+	}
+	m := e.inbox[i]
+	e.inbox = append(e.inbox[:i], e.inbox[i+1:]...)
+	e.chargeRecv(ctx, m)
+	return m
+}
+
+// TryRecv consumes a matching message that has already arrived (arrival
+// time not after the caller's clock) without blocking.  Returns nil if no
+// such message is present.
+func (e *Endpoint) TryRecv(ctx *sim.Ctx, from, tag int) *Message {
+	i := e.earliest(from, tag)
+	if i < 0 || e.inbox[i].Arrival > ctx.Now() {
+		return nil
+	}
+	m := e.inbox[i]
+	e.inbox = append(e.inbox[:i], e.inbox[i+1:]...)
+	e.chargeRecv(ctx, m)
+	return m
+}
+
+// Probe reports whether a matching message has arrived by the caller's
+// clock, without consuming it.
+func (e *Endpoint) Probe(ctx *sim.Ctx, from, tag int) bool {
+	i := e.earliest(from, tag)
+	return i >= 0 && e.inbox[i].Arrival <= ctx.Now()
+}
+
+// Pending reports the number of queued messages (any arrival time).
+func (e *Endpoint) Pending() int { return len(e.inbox) }
+
+func (e *Endpoint) chargeRecv(ctx *sim.Ctx, m *Message) {
+	cfg := e.net.cfg
+	if m.local {
+		ctx.Compute(cfg.LocalOverhead)
+		return
+	}
+	frags := 1
+	if e.datagram && cfg.MTU > 0 && len(m.Payload) > cfg.MTU {
+		frags = (len(m.Payload) + cfg.MTU - 1) / cfg.MTU
+	}
+	ctx.Compute(sim.Time(frags)*cfg.RecvOverhead + sim.Time(len(m.Payload))*cfg.RecvPerByte)
+}

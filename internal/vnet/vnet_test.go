@@ -1,0 +1,290 @@
+package vnet
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// testConfig is a round-number model for predictable arithmetic:
+// 10 bytes/µs bandwidth, 100 µs overheads, 50 µs latency, 1000 B MTU.
+func testConfig() Config {
+	return Config{
+		SendOverhead: 100 * sim.Microsecond,
+		RecvOverhead: 100 * sim.Microsecond,
+		Latency:      50 * sim.Microsecond,
+		BytesPerSec:  10 * 1000 * 1000,
+		RecvPerByte:  0,
+		MTU:          1000,
+		HeaderBytes:  40,
+	}
+}
+
+func TestPointToPointTiming(t *testing.T) {
+	n := New(testConfig())
+	e := sim.NewEngine()
+	a := n.NewEndpoint(0, false)
+	b := n.NewEndpoint(1, false)
+	var recvAt sim.Time
+	e.Spawn("a", false, func(c *sim.Ctx) {
+		a.Send(c, b, 7, make([]byte, 1000))
+		// sender: 100µs overhead + 1000B / 10B/µs = 100µs transmit = 200µs
+		if c.Now() != 200*sim.Microsecond {
+			t.Errorf("sender clock = %v, want 200µs", c.Now())
+		}
+	})
+	e.Spawn("b", false, func(c *sim.Ctx) {
+		m := b.Recv(c, -1, 7)
+		recvAt = c.Now()
+		if len(m.Payload) != 1000 {
+			t.Errorf("payload = %d bytes", len(m.Payload))
+		}
+		if m.From != 0 || m.To != 1 || m.Tag != 7 {
+			t.Errorf("metadata = %+v", m)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// arrival 250µs + 100µs recv overhead = 350µs
+	if recvAt != 350*sim.Microsecond {
+		t.Fatalf("receiver clock = %v, want 350µs", recvAt)
+	}
+}
+
+func TestDatagramFragmentAccounting(t *testing.T) {
+	n := New(testConfig())
+	e := sim.NewEngine()
+	a := n.NewEndpoint(0, true)
+	b := n.NewEndpoint(1, true)
+	e.Spawn("a", false, func(c *sim.Ctx) {
+		frags := a.Send(c, b, 1, make([]byte, 2500)) // 3 fragments at MTU 1000
+		if frags != 3 {
+			t.Errorf("frags = %d, want 3", frags)
+		}
+	})
+	e.Spawn("b", false, func(c *sim.Ctx) {
+		b.Recv(c, 0, 1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.Messages != 3 {
+		t.Fatalf("messages = %d, want 3", st.Messages)
+	}
+	if st.Bytes != 2500+3*40 {
+		t.Fatalf("bytes = %d, want %d", st.Bytes, 2500+3*40)
+	}
+	if n.WireStats() != st {
+		t.Fatalf("wire stats %+v != endpoint stats %+v", n.WireStats(), st)
+	}
+}
+
+func TestStreamAccountingIsUserLevel(t *testing.T) {
+	n := New(testConfig())
+	e := sim.NewEngine()
+	a := n.NewEndpoint(0, false)
+	b := n.NewEndpoint(1, false)
+	e.Spawn("a", false, func(c *sim.Ctx) {
+		a.Send(c, b, 1, make([]byte, 2500)) // no fragmentation counting
+	})
+	e.Spawn("b", false, func(c *sim.Ctx) {
+		b.Recv(c, -1, -1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.Messages != 1 || st.Bytes != 2500 {
+		t.Fatalf("stats = %+v, want 1 msg / 2500 B", st)
+	}
+}
+
+func TestRecvFiltersByFromAndTag(t *testing.T) {
+	n := New(testConfig())
+	e := sim.NewEngine()
+	a := n.NewEndpoint(0, false)
+	b := n.NewEndpoint(1, false)
+	c2 := n.NewEndpoint(2, false)
+	e.Spawn("a", false, func(c *sim.Ctx) {
+		a.Send(c, c2, 5, []byte("from-a"))
+	})
+	e.Spawn("b", false, func(c *sim.Ctx) {
+		c.Compute(10 * sim.Microsecond)
+		b.Send(c, c2, 5, []byte("from-b"))
+		b.Send(c, c2, 9, []byte("tag-9"))
+	})
+	e.Spawn("c", false, func(c *sim.Ctx) {
+		m := c2.Recv(c, 1, 9)
+		if string(m.Payload) != "tag-9" {
+			t.Errorf("got %q", m.Payload)
+		}
+		m = c2.Recv(c, 1, -1)
+		if string(m.Payload) != "from-b" {
+			t.Errorf("got %q", m.Payload)
+		}
+		m = c2.Recv(c, -1, 5)
+		if string(m.Payload) != "from-a" {
+			t.Errorf("got %q", m.Payload)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecvTakesEarliestArrival: even if a later-arriving matching message
+// was enqueued first, Recv must return the earliest arrival.
+func TestRecvTakesEarliestArrival(t *testing.T) {
+	n := New(testConfig())
+	e := sim.NewEngine()
+	a := n.NewEndpoint(0, false)
+	b := n.NewEndpoint(1, false)
+	dst := n.NewEndpoint(2, false)
+	e.Spawn("a", false, func(c *sim.Ctx) {
+		c.Compute(1000 * sim.Microsecond) // a sends late but runs first
+		a.Send(c, dst, 1, []byte("late"))
+	})
+	e.Spawn("b", false, func(c *sim.Ctx) {
+		c.Compute(100 * sim.Microsecond)
+		b.Send(c, dst, 1, []byte("early"))
+	})
+	e.Spawn("dst", false, func(c *sim.Ctx) {
+		if m := dst.Recv(c, -1, 1); string(m.Payload) != "early" {
+			t.Errorf("first = %q, want early", m.Payload)
+		}
+		if m := dst.Recv(c, -1, 1); string(m.Payload) != "late" {
+			t.Errorf("second = %q, want late", m.Payload)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryRecvAndProbe(t *testing.T) {
+	n := New(testConfig())
+	e := sim.NewEngine()
+	a := n.NewEndpoint(0, false)
+	b := n.NewEndpoint(1, false)
+	e.Spawn("a", false, func(c *sim.Ctx) {
+		a.Send(c, b, 3, []byte("x"))
+	})
+	e.Spawn("b", false, func(c *sim.Ctx) {
+		// Nothing has arrived at clock 0.
+		if m := b.TryRecv(c, -1, 3); m != nil {
+			t.Errorf("TryRecv before arrival returned %v", m)
+		}
+		if b.Probe(c, -1, 3) {
+			t.Error("Probe before arrival")
+		}
+		c.Compute(sim.Second) // far past arrival
+		c.Yield()
+		if !b.Probe(c, -1, 3) {
+			t.Error("Probe after arrival should succeed")
+		}
+		if m := b.TryRecv(c, -1, 3); m == nil || string(m.Payload) != "x" {
+			t.Errorf("TryRecv after arrival = %v", m)
+		}
+		if b.Pending() != 0 {
+			t.Errorf("pending = %d", b.Pending())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFDDIDefaultsSane(t *testing.T) {
+	cfg := FDDI()
+	if cfg.BytesPerSec != 12500000 {
+		t.Fatalf("bandwidth = %d, want 12.5 MB/s", cfg.BytesPerSec)
+	}
+	// One-way small message: 120 + ~0 + 60 + 120 ≈ 300 µs.
+	oneWay := cfg.SendOverhead + cfg.Latency + cfg.RecvOverhead
+	if oneWay < 250*sim.Microsecond || oneWay > 400*sim.Microsecond {
+		t.Fatalf("one-way small-message cost = %v, want ~300µs", oneWay)
+	}
+	// 4 KB transfer adds ~330 µs of serialization.
+	if tx := cfg.transmit(4096); tx < 300*sim.Microsecond || tx > 400*sim.Microsecond {
+		t.Fatalf("4KB transmit = %v", tx)
+	}
+}
+
+func TestZeroBandwidthMeansFreeTransmit(t *testing.T) {
+	cfg := testConfig()
+	cfg.BytesPerSec = 0
+	if cfg.transmit(1<<20) != 0 {
+		t.Fatal("transmit should be free with zero bandwidth")
+	}
+}
+
+func TestLoopbackIsFreeAndUncounted(t *testing.T) {
+	cfg := testConfig()
+	cfg.LocalOverhead = 10 * sim.Microsecond
+	cfg.LocalDelay = 5 * sim.Microsecond
+	n := New(cfg)
+	e := sim.NewEngine()
+	app := n.NewEndpoint(3, true)
+	srv := n.NewEndpoint(3, true) // same node: loopback
+	e.Spawn("app", false, func(c *sim.Ctx) {
+		app.Send(c, srv, 1, make([]byte, 5000))
+		if c.Now() != 10*sim.Microsecond {
+			t.Errorf("local send cost = %v, want 10µs", c.Now())
+		}
+	})
+	var recvAt sim.Time
+	e.Spawn("srv", false, func(c *sim.Ctx) {
+		srv.Recv(c, -1, -1)
+		recvAt = c.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.WireStats().Messages != 0 || n.WireStats().Bytes != 0 {
+		t.Fatalf("loopback counted on wire: %+v", n.WireStats())
+	}
+	// arrival 15µs + 10µs local recv overhead
+	if recvAt != 25*sim.Microsecond {
+		t.Fatalf("recv at %v, want 25µs", recvAt)
+	}
+}
+
+// TestFIFOPerPair: messages between one (src,dst) pair arrive in send
+// order when latencies are uniform.
+func TestFIFOPerPair(t *testing.T) {
+	n := New(testConfig())
+	e := sim.NewEngine()
+	a := n.NewEndpoint(0, false)
+	b := n.NewEndpoint(1, false)
+	const k = 20
+	e.Spawn("a", false, func(c *sim.Ctx) {
+		for i := 0; i < k; i++ {
+			a.Send(c, b, 1, []byte{byte(i)})
+		}
+	})
+	e.Spawn("b", false, func(c *sim.Ctx) {
+		for i := 0; i < k; i++ {
+			m := b.Recv(c, 0, 1)
+			if m.Payload[0] != byte(i) {
+				t.Fatalf("got %d, want %d", m.Payload[0], i)
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatsAdd exercises the accumulator arithmetic.
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Messages: 3, Bytes: 1000}
+	a.Add(Stats{Messages: 2, Bytes: 500})
+	if a.Messages != 5 || a.Bytes != 1500 {
+		t.Fatalf("add = %+v", a)
+	}
+	if a.Kilobytes() != 1.5 {
+		t.Fatalf("KB = %v", a.Kilobytes())
+	}
+}
