@@ -10,6 +10,10 @@
 //	modelsec/op   modeled 8-processor wall-clock (virtual seconds)
 //	tmkmsg/op     TreadMarks wire messages at 8 processors
 //	pvmmsg/op     PVM user messages at 8 processors
+//
+// Component microbenchmarks live next to their subsystems: BenchmarkEngine
+// (scheduler ping-pong) in internal/vnet, BenchmarkAccess (DSM access
+// checks) and BenchmarkMakeDiff (page diffing) in internal/tmk.
 package repro
 
 import (

@@ -1,0 +1,33 @@
+// Command goldgen dumps the modeled metrics (Time, Messages, Bytes) of
+// every registered experiment under both systems at 2/4/8 processors.
+// Its output is a stable golden reference: capture it before and after an
+// engine or protocol change and diff — any difference means the change
+// altered modeled physics, not just implementation.  The pinned values in
+// internal/harness/golden_test.go are regenerated from this output.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "workload scale (1.0 = paper scale)")
+	flag.Parse()
+	for _, r := range harness.Experiments(*scale) {
+		for _, n := range []int{2, 4, 8} {
+			tres, err := r.TMK(n)
+			if err != nil {
+				panic(err)
+			}
+			pres, err := r.PVM(n)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("%s tmk n=%d time=%d msgs=%d bytes=%d\n", r.Name, n, tres.Time, tres.Net.Messages, tres.Net.Bytes)
+			fmt.Printf("%s pvm n=%d time=%d msgs=%d bytes=%d\n", r.Name, n, pres.Time, pres.Net.Messages, pres.Net.Bytes)
+		}
+	}
+}

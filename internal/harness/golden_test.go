@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// metric is the triple the paper reports and the simulator guarantees to
+// reproduce exactly: modeled time, wire messages, wire bytes.
+type metric struct {
+	time  int64
+	msgs  int64
+	bytes int64
+}
+
+func capture(t *testing.T, res core.Result, err error) metric {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return metric{time: int64(res.Time), msgs: res.Net.Messages, bytes: res.Net.Bytes}
+}
+
+// goldenScale matches BenchScale in bench_test.go: the reduced workloads
+// the quick-mode experiments run at.
+const goldenScale = 0.1
+
+// golden pins the modeled metrics of two representative experiments — a
+// barrier-only scientific kernel (SOR-Zero) and a false-sharing-heavy one
+// (IS-Small) — under both systems at 4 and 8 processors, as produced by
+// the seed implementation.  The scheduler and DSM access layer may be
+// rewritten freely, but these numbers must not move: they are modeled
+// physics, not implementation detail.  Regenerate with `go run
+// ./cmd/goldgen` only when a change is *supposed* to alter the model.
+var golden = map[string]map[string][2]metric{
+	"SOR-Zero": {
+		"tmk": {
+			{time: 399175212, msgs: 116, bytes: 11569}, // n=4
+			{time: 215133748, msgs: 268, bytes: 34665}, // n=8
+		},
+		"pvm": {
+			{time: 382089320, msgs: 27, bytes: 150039}, // n=4
+			{time: 198860888, msgs: 63, bytes: 347243}, // n=8
+		},
+	},
+	"IS-Small": {
+		"tmk": {
+			{time: 69671548, msgs: 75, bytes: 17592},  // n=4
+			{time: 66491548, msgs: 184, bytes: 75676}, // n=8
+		},
+		"pvm": {
+			{time: 55658048, msgs: 12, bytes: 6204},  // n=4
+			{time: 32996816, msgs: 28, bytes: 14476}, // n=8
+		},
+	},
+}
+
+// runOnce collects the golden metrics for one full pass.
+func runGolden(t *testing.T) map[string]map[string][2]metric {
+	t.Helper()
+	runners := Experiments(goldenScale)
+	out := map[string]map[string][2]metric{}
+	for name := range golden {
+		r := Find(runners, name)
+		if r == nil {
+			t.Fatalf("experiment %q not registered", name)
+		}
+		sys := map[string][2]metric{}
+		for i, n := range []int{4, 8} {
+			tres, terr := r.TMK(n)
+			pres, perr := r.PVM(n)
+			tm := sys["tmk"]
+			tm[i] = capture(t, tres, terr)
+			sys["tmk"] = tm
+			pm := sys["pvm"]
+			pm[i] = capture(t, pres, perr)
+			sys["pvm"] = pm
+		}
+		out[r.Name] = sys
+	}
+	return out
+}
+
+// TestGoldenMetrics asserts the modeled results against the pinned seed
+// values: any drift in Time, Messages or Bytes is a determinism
+// regression in the engine, the network model or the DSM protocol.
+func TestGoldenMetrics(t *testing.T) {
+	got := runGolden(t)
+	for name, systems := range golden {
+		for sys, want := range systems {
+			for i, n := range []int{4, 8} {
+				if g := got[name][sys][i]; g != want[i] {
+					t.Errorf("%s %s n=%d: got %+v, want %+v", name, sys, n, g, want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBackToBackRunsIdentical reruns the same experiments and requires
+// bit-for-bit identical metrics: the engine must not leak host
+// nondeterminism (goroutine scheduling, map order) into modeled results.
+func TestBackToBackRunsIdentical(t *testing.T) {
+	a := runGolden(t)
+	b := runGolden(t)
+	for name, systems := range a {
+		for sys, am := range systems {
+			bm := b[name][sys]
+			for i, n := range []int{4, 8} {
+				if am[i] != bm[i] {
+					t.Errorf("%s %s n=%d: run1 %+v != run2 %+v", name, sys, n, am[i], bm[i])
+				}
+			}
+		}
+	}
+}

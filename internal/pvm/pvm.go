@@ -143,21 +143,24 @@ func (p *Proc) SendBuf() *Buffer {
 // Send dispatches the current send buffer to dst with the given tag
 // (pvm_send).  The send is non-blocking: it returns once the buffer has
 // been handed to the transport.
+//
+// The packed bytes are handed to the transport without a defensive copy:
+// Pack* calls only ever append, so later packing into this or a fresh
+// buffer (InitSend) cannot alter bytes already in flight.
 func (p *Proc) Send(dst, tag int) {
 	buf := p.SendBuf()
 	p.sys.checkDst(dst)
-	payload := append([]byte(nil), buf.data...)
-	p.ep.Send(p.ctx, p.sys.eps[dst], tag, payload)
+	p.ep.Send(p.ctx, p.sys.eps[dst], tag, buf.data)
 }
 
 // Mcast dispatches the current send buffer to each destination
 // (pvm_mcast).  Each destination counts as one user-level message.
+// Destinations share one payload; receive buffers never mutate it.
 func (p *Proc) Mcast(dsts []int, tag int) {
 	buf := p.SendBuf()
 	for _, d := range dsts {
 		p.sys.checkDst(d)
-		payload := append([]byte(nil), buf.data...)
-		p.ep.Send(p.ctx, p.sys.eps[d], tag, payload)
+		p.ep.Send(p.ctx, p.sys.eps[d], tag, buf.data)
 	}
 }
 
@@ -264,15 +267,28 @@ func (b *Buffer) header(t byte, count int) {
 	b.data = append(b.data, tmp[:]...)
 }
 
+// grow extends the buffer by n bytes in one step and returns the region
+// to fill, so bulk packs cost one allocation check instead of one append
+// per item.
+func (b *Buffer) grow(n int) []byte {
+	off := len(b.data)
+	if cap(b.data)-off < n {
+		nd := make([]byte, off, 2*off+n)
+		copy(nd, b.data)
+		b.data = nd
+	}
+	b.data = b.data[:off+n]
+	return b.data[off:]
+}
+
 // PackInt32 packs count items from vals starting at offset 0 with the
 // given stride (pvm_pkint).  stride 1 packs consecutive items.
 func (b *Buffer) PackInt32(vals []int32, count, stride int) {
 	checkStride(len(vals), count, stride)
 	b.header(tInt32, count)
-	var tmp [4]byte
+	dst := b.grow(4 * count)
 	for i := 0; i < count; i++ {
-		binary.LittleEndian.PutUint32(tmp[:], uint32(vals[i*stride]))
-		b.data = append(b.data, tmp[:]...)
+		binary.LittleEndian.PutUint32(dst[4*i:], uint32(vals[i*stride]))
 	}
 	b.charge(4 * count)
 }
@@ -281,10 +297,9 @@ func (b *Buffer) PackInt32(vals []int32, count, stride int) {
 func (b *Buffer) PackInt64(vals []int64, count, stride int) {
 	checkStride(len(vals), count, stride)
 	b.header(tInt64, count)
-	var tmp [8]byte
+	dst := b.grow(8 * count)
 	for i := 0; i < count; i++ {
-		binary.LittleEndian.PutUint64(tmp[:], uint64(vals[i*stride]))
-		b.data = append(b.data, tmp[:]...)
+		binary.LittleEndian.PutUint64(dst[8*i:], uint64(vals[i*stride]))
 	}
 	b.charge(8 * count)
 }
@@ -294,10 +309,9 @@ func (b *Buffer) PackInt64(vals []int64, count, stride int) {
 func (b *Buffer) PackFloat64(vals []float64, count, stride int) {
 	checkStride(len(vals), count, stride)
 	b.header(tFloat64, count)
-	var tmp [8]byte
+	dst := b.grow(8 * count)
 	for i := 0; i < count; i++ {
-		binary.LittleEndian.PutUint64(tmp[:], floatBits(vals[i*stride]))
-		b.data = append(b.data, tmp[:]...)
+		binary.LittleEndian.PutUint64(dst[8*i:], floatBits(vals[i*stride]))
 	}
 	b.charge(8 * count)
 }

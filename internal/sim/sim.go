@@ -3,12 +3,44 @@
 //
 // Each simulated processor ("proc") runs real Go code in its own goroutine,
 // but the engine enforces strictly sequential execution: exactly one proc
-// runs at a time, and the engine always resumes the runnable proc with the
-// smallest virtual clock (ties broken by proc id).  Procs advance their
-// virtual clocks explicitly via Compute and block on arbitrary conditions
-// via Wait.  Because all cross-proc interaction happens through conditions
-// evaluated at scheduling points, runs are bit-for-bit reproducible:
-// message counts, byte counts and virtual times are exact.
+// runs at a time, and the engine always resumes the resumable proc with the
+// smallest effective virtual time (ties broken by proc id).  Procs advance
+// their virtual clocks explicitly via Compute and block on conditions via
+// Wait/WaitOn.  Because all cross-proc interaction happens through
+// conditions evaluated at scheduling points, runs are bit-for-bit
+// reproducible: message counts, byte counts and virtual times are exact.
+//
+// # Scheduling architecture
+//
+// The scheduler is event-indexed rather than scan-based.  Every resumable
+// proc sits in a binary min-heap keyed by (effective resume time, proc id):
+// ready procs at their own clock, and blocked procs whose condition is
+// currently satisfiable at the condition's wake time.  Blocked procs whose
+// condition is not yet satisfiable are parked against the Source they wait
+// on (e.g. a network endpoint's inbox); mutating the state a condition
+// examines must call Source.Notify, which re-polls only the parked and
+// armed waiters of that source.  Pure time-based waits (Yield) go straight
+// into the heap.  Conditions passed to plain Wait, with no Source, fall
+// back to being re-polled at every scheduling step; that legacy path is
+// O(waiters) per step and is kept for tests and ad-hoc conditions.
+//
+// Scheduling decisions execute inline in the yielding proc's goroutine:
+// when a proc blocks or finishes it pops the next proc from the heap and
+// hands control to it directly, so a scheduling step costs one goroutine
+// switch (zero when the yielding proc is itself still the minimum).  There
+// is no separate scheduler goroutine in steady state; Run merely starts
+// the first proc and waits for termination.
+//
+// # Determinism invariant
+//
+// The engine always resumes the proc with the smallest effective time
+// max(clock, wake), breaking ties by smallest proc id.  This is the
+// invariant every optimization must preserve: given the same spawned
+// bodies, two runs execute the identical sequence of (proc, time) steps,
+// so modeled times, message counts and byte counts never drift.  For the
+// event-indexed fast path this requires the Notify discipline: a blocked
+// proc's condition outcome may only change when its Source is notified,
+// and an armed proc's wake time may only move earlier, never later.
 //
 // The engine distinguishes primary procs (application processes) from
 // daemon procs (protocol service threads).  A run completes when every
@@ -74,15 +106,60 @@ func (s procState) String() string {
 // The proc's clock is advanced to max(clock, wake time) when it resumes.
 type Cond func() (wake Time, ok bool)
 
+// Source is a wake-up source: a piece of simulator state (an endpoint's
+// inbox, a lock's queue) that blocked procs wait on via WaitOn.  Code that
+// mutates state a registered condition examines must call Notify, which
+// re-polls exactly the procs waiting on this source.  The zero value is
+// ready to use.
+type Source struct {
+	waiters []*proc
+}
+
+func (s *Source) add(p *proc) {
+	p.widx = len(s.waiters)
+	s.waiters = append(s.waiters, p)
+}
+
+func (s *Source) remove(p *proc) {
+	i := p.widx
+	last := len(s.waiters) - 1
+	s.waiters[i] = s.waiters[last]
+	s.waiters[i].widx = i
+	s.waiters[last] = nil
+	s.waiters = s.waiters[:last]
+	p.widx = -1
+}
+
+// Notify re-polls the condition of every proc waiting on s, arming in the
+// scheduler's wake-time heap those that became (or remain) resumable.
+// Call it after any mutation that could satisfy a waiter's condition or
+// move its wake time earlier.
+func (s *Source) Notify() {
+	for _, p := range s.waiters {
+		p.eng.repoll(p)
+	}
+}
+
+// HasWaiter reports whether a proc is currently blocked on s.  Callers
+// that reuse per-source condition state (e.g. a single-consumer inbox)
+// can use it to turn concurrent-waiter misuse into an immediate error.
+func (s *Source) HasWaiter() bool { return len(s.waiters) > 0 }
+
 type proc struct {
 	id     int
 	name   string
 	daemon bool
 	state  procState
 	clock  Time
-	cond   Cond      // valid when state == stateBlocked
-	what   string    // human-readable reason for the block
-	resume chan Time // engine -> proc: new clock value
+	cond   Cond          // valid when state == stateBlocked (nil: pure time wait)
+	what   string        // human-readable reason for the block
+	whatFn func() string // lazy variant of what (takes precedence in dumps)
+	src    *Source       // source the proc is parked on, if any
+	key    Time          // effective resume time while armed in the heap
+	hidx   int           // heap index; -1 when not armed
+	widx   int           // index in src.waiters; -1 when absent
+	pidx   int           // index in eng.polled; -1 when absent
+	resume chan Time     // scheduler -> proc: new clock value
 	body   func(*Ctx)
 	eng    *Engine
 	err    error // panic captured from the proc body
@@ -90,14 +167,19 @@ type proc struct {
 
 // Engine coordinates a set of procs over virtual time.
 type Engine struct {
-	procs   []*proc
-	yieldCh chan *proc
-	started bool
+	procs    []*proc
+	heap     []*proc // min-heap by (key, id): armed/ready procs
+	polled   []*proc // blocked procs with source-less conds, re-polled each step
+	primLeft int     // primary procs that have not yet returned
+	runErr   error   // first proc failure or deadlock
+	finished bool    // a termination signal has been sent
+	runDone  chan struct{}
+	started  bool
 }
 
 // NewEngine returns an empty engine.  All procs must be spawned before Run.
 func NewEngine() *Engine {
-	return &Engine{yieldCh: make(chan *proc)}
+	return &Engine{runDone: make(chan struct{}, 1)}
 }
 
 // Spawn registers a new proc.  Primary procs (daemon=false) must all return
@@ -112,7 +194,10 @@ func (e *Engine) Spawn(name string, daemon bool, body func(*Ctx)) {
 		name:   name,
 		daemon: daemon,
 		state:  stateNew,
-		resume: make(chan Time),
+		hidx:   -1,
+		widx:   -1,
+		pidx:   -1,
+		resume: make(chan Time, 1),
 		body:   body,
 		eng:    e,
 	}
@@ -140,84 +225,181 @@ func (e *Engine) Run() error {
 	e.started = true
 	for _, p := range e.procs {
 		p.state = stateReady
+		e.arm(p, p.clock)
+		if !p.daemon {
+			e.primLeft++
+		}
 		go p.loop()
 	}
+	if e.primLeft == 0 {
+		e.drain()
+		return nil
+	}
+	next, t := e.schedule()
+	e.handoff(next, t)
+	<-e.runDone
+	e.drain()
+	return e.runErr
+}
+
+// ---------------------------------------------------------------------
+// Wake-time heap: a binary min-heap over (key, id), hand-rolled so the
+// hot path pays no interface indirection.  p.hidx tracks each armed
+// proc's position for decrease-key and removal.
+
+func (e *Engine) heapLess(a, b *proc) bool {
+	return a.key < b.key || (a.key == b.key && a.id < b.id)
+}
+
+func (e *Engine) heapSwap(i, j int) {
+	h := e.heap
+	h[i], h[j] = h[j], h[i]
+	h[i].hidx = i
+	h[j].hidx = j
+}
+
+func (e *Engine) heapUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.heapLess(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) heapDown(i int) {
+	n := len(e.heap)
 	for {
-		if e.primariesDone() {
-			e.drain()
-			return e.firstErr()
+		l := 2*i + 1
+		if l >= n {
+			return
 		}
-		best := e.pick()
-		if best == nil {
-			e.drain()
-			if err := e.firstErr(); err != nil {
-				return err
-			}
-			return fmt.Errorf("sim: deadlock\n%s", e.dump())
+		least := l
+		if r := l + 1; r < n && e.heapLess(e.heap[r], e.heap[l]) {
+			least = r
 		}
-		t := best.clock
-		if best.state == stateBlocked {
-			if wake, ok := best.cond(); ok && wake > t {
-				t = wake
-			}
-			best.cond = nil
-			best.what = ""
+		if !e.heapLess(e.heap[least], e.heap[i]) {
+			return
 		}
-		best.state = stateRunning
-		best.resume <- t
-		<-e.yieldCh
-		if err := e.firstErr(); err != nil {
-			e.drain()
-			return err
-		}
+		e.heapSwap(i, least)
+		i = least
 	}
 }
 
-// pick selects the resumable proc with the smallest effective time.
-func (e *Engine) pick() *proc {
-	var best *proc
-	var bestT Time
-	for _, p := range e.procs {
-		var t Time
-		switch p.state {
-		case stateReady:
-			t = p.clock
-		case stateBlocked:
-			wake, ok := p.cond()
-			if !ok {
-				continue
-			}
-			t = p.clock
-			if wake > t {
-				t = wake
-			}
-		default:
-			continue
-		}
-		if best == nil || t < bestT || (t == bestT && p.id < best.id) {
-			best = p
-			bestT = t
-		}
-	}
-	return best
+func (e *Engine) heapPush(p *proc) {
+	p.hidx = len(e.heap)
+	e.heap = append(e.heap, p)
+	e.heapUp(p.hidx)
 }
 
-func (e *Engine) primariesDone() bool {
-	for _, p := range e.procs {
-		if !p.daemon && p.state != stateDone {
-			return false
-		}
+func (e *Engine) heapRemove(p *proc) {
+	i := p.hidx
+	last := len(e.heap) - 1
+	if i != last {
+		e.heapSwap(i, last)
 	}
-	return true
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	p.hidx = -1
+	if i < last {
+		e.heapDown(i)
+		e.heapUp(i)
+	}
 }
 
-func (e *Engine) firstErr() error {
-	for _, p := range e.procs {
-		if p.err != nil {
-			return p.err
+// arm places p in the heap at the given effective resume time, or moves
+// it if already armed at a different time.
+func (e *Engine) arm(p *proc, key Time) {
+	if p.hidx >= 0 {
+		if key != p.key {
+			p.key = key
+			e.heapDown(p.hidx)
+			e.heapUp(p.hidx)
 		}
+		return
 	}
-	return nil
+	p.key = key
+	e.heapPush(p)
+}
+
+// repoll re-evaluates a blocked proc's condition, arming or disarming it.
+func (e *Engine) repoll(p *proc) {
+	wake, ok := p.cond()
+	if !ok {
+		if p.hidx >= 0 {
+			e.heapRemove(p)
+		}
+		return
+	}
+	key := p.clock
+	if wake > key {
+		key = wake
+	}
+	e.arm(p, key)
+}
+
+// schedule picks the next proc to run: the heap minimum after re-polling
+// the legacy source-less waiters.  It detaches the chosen proc from every
+// wait structure and marks it running.  Returns (nil, 0) when nothing can
+// make progress.
+func (e *Engine) schedule() (*proc, Time) {
+	for _, p := range e.polled {
+		e.repoll(p)
+	}
+	if len(e.heap) == 0 {
+		return nil, 0
+	}
+	p := e.heap[0]
+	e.heapRemove(p)
+	if p.src != nil {
+		p.src.remove(p)
+		p.src = nil
+	}
+	if p.pidx >= 0 {
+		e.polledRemove(p)
+	}
+	p.cond = nil
+	p.what = ""
+	p.whatFn = nil
+	p.state = stateRunning
+	return p, p.key
+}
+
+func (e *Engine) polledAdd(p *proc) {
+	p.pidx = len(e.polled)
+	e.polled = append(e.polled, p)
+}
+
+func (e *Engine) polledRemove(p *proc) {
+	i := p.pidx
+	last := len(e.polled) - 1
+	e.polled[i] = e.polled[last]
+	e.polled[i].pidx = i
+	e.polled[last] = nil
+	e.polled = e.polled[:last]
+	p.pidx = -1
+}
+
+// handoff transfers control to p at clock t.  The resume channel is
+// buffered, so the caller proceeds straight to its own park (or exit)
+// without waiting for p to wake: one goroutine switch per step.
+func (e *Engine) handoff(p *proc, t Time) {
+	p.resume <- t
+}
+
+// finish signals Run that the simulation is over.  Called exactly once
+// per run, by whichever proc observes completion, deadlock or a panic.
+func (e *Engine) finish(err error) {
+	if e.finished {
+		return
+	}
+	e.finished = true
+	if e.runErr == nil {
+		e.runErr = err
+	}
+	e.runDone <- struct{}{}
 }
 
 // drain abandons all blocked/ready procs so their goroutines exit.  Called
@@ -242,8 +424,12 @@ func (e *Engine) dump() string {
 			kind = "daemon"
 		}
 		fmt.Fprintf(&b, "  %-6s %-20s state=%-8s clock=%v", kind, p.name, p.state, p.clock)
-		if p.what != "" {
-			fmt.Fprintf(&b, " waiting-for=%s", p.what)
+		what := p.what
+		if p.whatFn != nil {
+			what = p.whatFn()
+		}
+		if what != "" {
+			fmt.Fprintf(&b, " waiting-for=%s", what)
 		}
 		b.WriteByte('\n')
 	}
@@ -268,19 +454,39 @@ func (p *proc) loop() {
 		return
 	}
 	p.clock = t
-	defer func() {
-		if r := recover(); r != nil {
-			if IsAbandoned(r) {
-				// The engine shut this proc down after the run ended (or
-				// after another proc failed); exit without reporting.
-				return
-			}
-			p.err = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
-		}
-		p.state = stateDone
-		p.eng.yieldCh <- p
-	}()
+	defer p.exit()
 	p.body(&Ctx{p: p})
+}
+
+// exit runs when a proc body returns or panics: it records the outcome
+// and performs the final scheduling step on the departing goroutine.
+func (p *proc) exit() {
+	e := p.eng
+	if r := recover(); r != nil {
+		if IsAbandoned(r) {
+			// The engine shut this proc down after the run ended (or
+			// after another proc failed); exit without reporting.
+			return
+		}
+		p.err = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
+		p.state = stateDone
+		e.finish(p.err)
+		return
+	}
+	p.state = stateDone
+	if !p.daemon {
+		e.primLeft--
+		if e.primLeft == 0 {
+			e.finish(nil)
+			return
+		}
+	}
+	next, t := e.schedule()
+	if next == nil {
+		e.finish(fmt.Errorf("sim: deadlock\n%s", e.dump()))
+		return
+	}
+	e.handoff(next, t)
 }
 
 // Ctx is the handle a proc body uses to interact with virtual time.
@@ -307,15 +513,65 @@ func (c *Ctx) Compute(d Time) {
 
 // Wait blocks the proc until cond reports ok.  The proc's clock becomes
 // max(clock, wake).  what describes the blockage for deadlock dumps.
+//
+// A plain Wait has no wake source, so its condition is re-polled at every
+// scheduling step.  Hot paths should use WaitOn with a Source instead.
 func (c *Ctx) Wait(what string, cond Cond) {
+	c.waitOn(nil, what, nil, cond)
+}
+
+// WaitOn blocks like Wait, but registers the proc with src: the condition
+// is re-evaluated only when src.Notify is called, not at every scheduling
+// step.  The caller must guarantee that any state change that could
+// satisfy cond (or move its wake time earlier) notifies src.
+func (c *Ctx) WaitOn(src *Source, what string, cond Cond) {
+	c.waitOn(src, what, nil, cond)
+}
+
+// WaitOnLazy is WaitOn with a deferred description: whatFn is only
+// invoked if the block ends up in a deadlock dump, keeping message
+// formatting off the scheduling fast path.
+func (c *Ctx) WaitOnLazy(src *Source, whatFn func() string, cond Cond) {
+	c.waitOn(src, "", whatFn, cond)
+}
+
+func (c *Ctx) waitOn(src *Source, what string, whatFn func() string, cond Cond) {
 	p := c.p
-	// Fast path: condition already satisfied; still advance to wake time.
-	// A scheduling round-trip is required regardless so that other procs
-	// with earlier clocks run first.
+	e := p.eng
+	p.state = stateBlocked
 	p.cond = cond
 	p.what = what
-	p.state = stateBlocked
-	p.eng.yieldCh <- p
+	p.whatFn = whatFn
+	if cond == nil {
+		// Pure time-based wait: wake at the proc's own clock.
+		e.arm(p, p.clock)
+	} else {
+		p.src = src
+		if src != nil {
+			src.add(p)
+		} else {
+			e.polledAdd(p)
+		}
+		if wake, ok := cond(); ok {
+			key := p.clock
+			if wake > key {
+				key = wake
+			}
+			e.arm(p, key)
+		}
+	}
+	next, t := e.schedule()
+	if next == p {
+		// Fast path: this proc is still the minimum and its condition
+		// holds — continue inline with zero goroutine switches.
+		p.clock = t
+		return
+	}
+	if next == nil {
+		e.finish(fmt.Errorf("sim: deadlock\n%s", e.dump()))
+	} else {
+		e.handoff(next, t)
+	}
 	t, ok := <-p.resume
 	if !ok {
 		// Engine abandoned the run (e.g. another proc panicked or all
@@ -328,7 +584,7 @@ func (c *Ctx) Wait(what string, cond Cond) {
 // Yield gives the engine a scheduling point without blocking: procs with
 // earlier clocks run before this proc continues.
 func (c *Ctx) Yield() {
-	c.Wait("yield", func() (Time, bool) { return 0, true })
+	c.waitOn(nil, "yield", nil, nil)
 }
 
 // abandoned is panicked through a proc body when the engine shuts it down.

@@ -1,0 +1,81 @@
+package tmk
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vnet"
+)
+
+// runSolo runs body on a single-processor system with nwords float64s of
+// shared memory and returns nothing: single-proc runs never fault, so the
+// benchmarks below isolate the access-check layer itself.
+func runSolo(b *testing.B, nwords int, body func(p *Proc, base Addr)) {
+	b.Helper()
+	e := sim.NewEngine()
+	n := vnet.New(vnet.FDDI())
+	s := NewSystem(e, n, 1, DefaultConfig())
+	base := s.Malloc(8 * nwords)
+	s.Spawn(0, func(p *Proc) { body(p, base) })
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAccess measures the software access check on the scalar and
+// bulk paths: per-element cost of reads and writes to valid pages.
+func BenchmarkAccess(b *testing.B) {
+	const nwords = 1 << 13 // 64 KB: 16 pages
+	mask := Addr(nwords - 1)
+
+	b.Run("scalar-read", func(b *testing.B) {
+		runSolo(b, nwords, func(p *Proc, base Addr) {
+			arr := p.F64Array(base, nwords)
+			var sum float64
+			for i := 0; i < b.N; i++ {
+				sum += arr.At(int(Addr(i) & mask))
+			}
+			_ = sum
+		})
+	})
+	b.Run("scalar-write", func(b *testing.B) {
+		runSolo(b, nwords, func(p *Proc, base Addr) {
+			arr := p.F64Array(base, nwords)
+			for i := 0; i < b.N; i++ {
+				arr.Set(int(Addr(i)&mask), float64(i))
+			}
+		})
+	})
+	b.Run("scalar-read-onepage", func(b *testing.B) {
+		// All accesses inside one page: the best case for a last-page cache.
+		runSolo(b, nwords, func(p *Proc, base Addr) {
+			arr := p.F64Array(base, nwords)
+			var sum float64
+			for i := 0; i < b.N; i++ {
+				sum += arr.At(int(Addr(i) & 0x1ff))
+			}
+			_ = sum
+		})
+	})
+	b.Run("bulk-load", func(b *testing.B) {
+		runSolo(b, nwords, func(p *Proc, base Addr) {
+			arr := p.F64Array(base, nwords)
+			dst := make([]float64, nwords)
+			for i := 0; i < b.N; i++ {
+				arr.Load(dst, 0, nwords)
+			}
+		})
+		b.SetBytes(8 * nwords)
+	})
+	b.Run("bulk-store", func(b *testing.B) {
+		runSolo(b, nwords, func(p *Proc, base Addr) {
+			arr := p.F64Array(base, nwords)
+			src := make([]float64, nwords)
+			for i := 0; i < b.N; i++ {
+				arr.Store(src, 0)
+			}
+		})
+		b.SetBytes(8 * nwords)
+	})
+}

@@ -133,6 +133,119 @@ func TestDisjointDiffMergeProperty(t *testing.T) {
 	}
 }
 
+// referenceMakeDiff is the original byte-at-a-time scan, kept as the
+// specification for the word-at-a-time implementation.
+func referenceMakeDiff(page int, twin, cur []byte) *Diff {
+	d := &Diff{Page: page}
+	i := 0
+	for i < len(cur) {
+		if twin[i] == cur[i] {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(cur) && twin[j] != cur[j] {
+			j++
+		}
+		if n := len(d.Runs); n > 0 {
+			last := &d.Runs[n-1]
+			gap := i - (last.Off + len(last.Data))
+			if gap <= 8 {
+				last.Data = append(last.Data, cur[last.Off+len(last.Data):j]...)
+				i = j
+				continue
+			}
+		}
+		d.Runs = append(d.Runs, Run{Off: i, Data: append([]byte(nil), cur[i:j]...)})
+		i = j
+	}
+	return d
+}
+
+// Property: the word-at-a-time MakeDiff produces encodings identical to
+// the byte-at-a-time reference — offsets, lengths, payloads and Size.
+// Diff sizes feed modeled time and wire byte counts, so any divergence
+// would break the determinism guarantee across implementations.
+func TestMakeDiffMatchesReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Odd sizes exercise the non-word-aligned tail.
+		n := 1 + r.Intn(600)
+		twin := make([]byte, n)
+		r.Read(twin)
+		cur := append([]byte(nil), twin...)
+		switch r.Intn(4) {
+		case 0: // sparse byte flips
+			for k := r.Intn(12); k > 0; k-- {
+				cur[r.Intn(n)] ^= byte(1 + r.Intn(255))
+			}
+		case 1: // dense block rewrite
+			lo := r.Intn(n)
+			hi := lo + r.Intn(n-lo)
+			for i := lo; i < hi; i++ {
+				cur[i] ^= byte(1 + r.Intn(255))
+			}
+		case 2: // alternating short runs and short gaps
+			for i := r.Intn(9); i < n; i += 1 + r.Intn(12) {
+				cur[i] ^= 0x80
+			}
+		case 3: // everything changed
+			for i := range cur {
+				cur[i] ^= byte(1 + r.Intn(255))
+			}
+		}
+		got := MakeDiff(0, twin, cur)
+		want := referenceMakeDiff(0, twin, cur)
+		if len(got.Runs) != len(want.Runs) || got.Size() != want.Size() {
+			return false
+		}
+		for i := range got.Runs {
+			if got.Runs[i].Off != want.Runs[i].Off || !bytes.Equal(got.Runs[i].Data, want.Runs[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkMakeDiff measures page comparison throughput on the three
+// shapes that matter in practice: a clean page (barrier with no local
+// writes to ship), a sparsely modified page (a few scalars changed), and
+// a densely modified page (bulk overwrite).
+func BenchmarkMakeDiff(b *testing.B) {
+	const ps = 4096
+	twin := make([]byte, ps)
+	r := rand.New(rand.NewSource(1))
+	r.Read(twin)
+
+	bench := func(name string, cur []byte) {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(ps)
+			for i := 0; i < b.N; i++ {
+				MakeDiff(0, twin, cur)
+			}
+		})
+	}
+
+	clean := append([]byte(nil), twin...)
+	bench("clean", clean)
+
+	sparse := append([]byte(nil), twin...)
+	for i := 0; i < 8; i++ {
+		sparse[i*512+128] ^= 0xff
+	}
+	bench("sparse", sparse)
+
+	dense := make([]byte, ps)
+	for i := range dense {
+		dense[i] = twin[i] ^ 0x5a
+	}
+	bench("dense", dense)
+}
+
 // Zero-initialized data that stays mostly zero produces tiny diffs: the
 // reason TreadMarks ships less data than PVM on SOR-Zero.
 func TestZeroPageDiffIsSmall(t *testing.T) {

@@ -266,6 +266,23 @@ type Proc struct {
 	lastMgrVC VC // barrier manager's merged vc at the last departure
 	barrier   *barrierState
 
+	// Access fast path (views.go): cached [lo,hi) address windows of the
+	// last page hit by a scalar read (valid, data present) and write
+	// (valid and twinned), so repeat accesses skip the page-table lookup
+	// and the division in loc.  rc is cleared whenever a page can become
+	// invalid (applyRecords); wc additionally whenever twins are dropped
+	// (closeInterval).
+	rc accCache
+	wc accCache
+
+	// Allocation recycling for protocol hot paths.
+	twinFree  [][]byte // page-size buffers returned by closeInterval
+	ordBuf    []diffWant
+	usedBuf   []bool
+	latestBuf []*IntervalRec // minimalCover: latest missing interval per writer
+	candBuf   []int
+	chosenBuf []int
+
 	// Behavioral counters (not wire stats): useful for analysis output.
 	Faults       int
 	DiffRequests int
@@ -343,10 +360,12 @@ func (p *Proc) closeInterval() {
 		}
 		d := MakeDiff(pid, pg.twin, pg.getData(cfg.PageSize))
 		p.diffs[diffKey{pid, p.id, idx}] = d
+		p.twinFree = append(p.twinFree, pg.twin) // recycle: diffs copy out of cur, never twin
 		pg.twin = nil
 		p.app.Compute(sim.Time(cfg.PageSize) * cfg.DiffCreatePerByte)
 	}
 	p.dirty = p.dirty[:0]
+	p.wc = accCache{} // twins dropped: writes must re-twin via the slow path
 	p.vc[p.id]++
 	rec.VC = p.vc.Clone() // timestamp includes the interval itself
 	p.recs[p.id] = append(p.recs[p.id], rec)
@@ -355,6 +374,10 @@ func (p *Proc) closeInterval() {
 // applyRecords merges incoming interval records: stores them, advances
 // the vector clock, and invalidates pages written by other processors.
 func (p *Proc) applyRecords(recs []*IntervalRec) {
+	// Incoming write notices may invalidate any page, including a cached
+	// one; drop the access fast path until the next slow-path fill.
+	p.rc = accCache{}
+	p.wc = accCache{}
 	// Records may arrive batched out of order across processors; apply
 	// each processor's records in index order.
 	sort.Slice(recs, func(i, j int) bool {
@@ -691,13 +714,20 @@ type coverTarget struct {
 // interval need not be asked, because the dominating writer holds its
 // diffs too (paper §2.2.2).
 func (p *Proc) minimalCover(pid int, missing []diffWant) []coverTarget {
-	// Latest missing interval per candidate writer.
-	latest := map[int]*IntervalRec{}
-	var cands []int
+	// Latest missing interval per candidate writer.  Writers are proc ids,
+	// so proc-indexed scratch slices beat maps on this per-fault path.
+	if p.latestBuf == nil {
+		p.latestBuf = make([]*IntervalRec, p.sys.n)
+	}
+	latest := p.latestBuf
+	for i := range latest {
+		latest[i] = nil
+	}
+	cands := p.candBuf[:0]
 	for _, w := range missing {
 		rec := p.recs[w.Proc][w.Idx]
-		if cur, ok := latest[w.Proc]; !ok || rec.Idx > cur.Idx {
-			if !ok {
+		if cur := latest[w.Proc]; cur == nil || rec.Idx > cur.Idx {
+			if cur == nil {
 				cands = append(cands, w.Proc)
 			}
 			latest[w.Proc] = rec
@@ -705,7 +735,7 @@ func (p *Proc) minimalCover(pid int, missing []diffWant) []coverTarget {
 	}
 	sort.Ints(cands)
 	// Drop dominated candidates.
-	var chosen []int
+	chosen := p.chosenBuf[:0]
 	for _, q := range cands {
 		dominated := false
 		for _, r := range cands {
@@ -721,19 +751,19 @@ func (p *Proc) minimalCover(pid int, missing []diffWant) []coverTarget {
 			chosen = append(chosen, q)
 		}
 	}
+	p.candBuf = cands[:0]
+	p.chosenBuf = chosen // keep backing array; reset on next call
 	// Assign each missing diff to the first chosen writer that has seen it.
-	out := make([]coverTarget, 0, len(chosen))
-	byProc := map[int]*coverTarget{}
-	for _, q := range chosen {
-		out = append(out, coverTarget{proc: q})
-		byProc[q] = &out[len(out)-1]
+	out := make([]coverTarget, len(chosen))
+	for i, q := range chosen {
+		out[i].proc = q
 	}
 	for _, w := range missing {
 		rec := p.recs[w.Proc][w.Idx]
 		placed := false
-		for _, q := range chosen {
+		for i, q := range chosen {
 			if latest[q].VC.Covers(rec.VC) {
-				byProc[q].wants = append(byProc[q].wants, w)
+				out[i].wants = append(out[i].wants, w)
 				placed = true
 				break
 			}
@@ -752,11 +782,14 @@ func (p *Proc) applyPending(pid int) {
 	if len(pg.wn) == 0 {
 		return
 	}
-	pending := append([]diffWant(nil), pg.wn...)
+	pending := pg.wn // read-only below; reset only after application
 	// Topological order: repeatedly take the happens-before-minimal
 	// notice; break ties by (proc, idx).
-	var order []diffWant
-	used := make([]bool, len(pending))
+	order := p.ordBuf[:0]
+	used := p.usedBuf[:0]
+	for range pending {
+		used = append(used, false)
+	}
 	for len(order) < len(pending) {
 		best := -1
 		for i, w := range pending {
@@ -796,6 +829,8 @@ func (p *Proc) applyPending(pid int) {
 		p.DiffBytes += int64(d.Size())
 		p.app.Compute(sim.Time(d.Size()) * cfg.DiffApplyPerByte)
 	}
+	p.ordBuf = order[:0]
+	p.usedBuf = used[:0]
 	pg.wn = pg.wn[:0]
 }
 
@@ -824,7 +859,14 @@ func (p *Proc) writable(pid int) *page {
 	}
 	if pg.twin == nil {
 		cfg := p.sys.cfg
-		pg.twin = append([]byte(nil), pg.getData(cfg.PageSize)...)
+		data := pg.getData(cfg.PageSize)
+		if n := len(p.twinFree); n > 0 {
+			pg.twin = p.twinFree[n-1]
+			p.twinFree = p.twinFree[:n-1]
+			copy(pg.twin, data)
+		} else {
+			pg.twin = append([]byte(nil), data...)
+		}
 		p.app.Compute(sim.Time(cfg.PageSize) * cfg.TwinPerByte)
 		p.dirty = append(p.dirty, pid)
 	}

@@ -35,54 +35,142 @@ func (p *Proc) loc(a Addr, size int) (int, int) {
 	return int(a) / ps, int(a) % ps
 }
 
+// accCache is the scalar-access fast path: the address window [lo,hi) of
+// the last page hit, plus its backing bytes.  A hit needs two compares and
+// a subtraction — no page-table lookup, no division, no fault check.  The
+// zero value matches no address.  Cached windows never cross p.sys.brk,
+// so the fast path preserves loc's bounds check.
+type accCache struct {
+	lo, hi Addr
+	data   []byte
+}
+
+// cacheRead remembers a page just vetted by readable for scalar reads.
+// Pages with nil data (all-zero, never written) are not cached: their
+// reads return 0 through the slow path.
+func (p *Proc) cacheRead(pid int, pg *page) {
+	if pg.data == nil {
+		return
+	}
+	p.rc = p.window(pid, pg)
+}
+
+// cacheWrite remembers a page just vetted by writable.  A writable page is
+// also readable, so the read cache is filled too.
+func (p *Proc) cacheWrite(pid int, pg *page) {
+	p.wc = p.window(pid, pg)
+	p.rc = p.wc
+}
+
+func (p *Proc) window(pid int, pg *page) accCache {
+	ps := p.sys.cfg.PageSize
+	lo := Addr(pid * ps)
+	hi := lo + Addr(ps)
+	if hi > p.sys.brk {
+		hi = p.sys.brk
+	}
+	return accCache{lo: lo, hi: hi, data: pg.data}
+}
+
 // ReadF64 reads a shared float64.
 func (p *Proc) ReadF64(a Addr) float64 {
+	if c := &p.rc; a >= c.lo && a+8 <= c.hi && a&7 == 0 {
+		return getF64(c.data[a-c.lo:])
+	}
+	return p.readF64Slow(a)
+}
+
+func (p *Proc) readF64Slow(a Addr) float64 {
 	pid, off := p.loc(a, 8)
 	pg := p.readable(pid)
 	if pg.data == nil {
 		return 0
 	}
+	p.cacheRead(pid, pg)
 	return getF64(pg.data[off:])
 }
 
 // WriteF64 writes a shared float64.
 func (p *Proc) WriteF64(a Addr, v float64) {
+	if c := &p.wc; a >= c.lo && a+8 <= c.hi && a&7 == 0 {
+		putF64(c.data[a-c.lo:], v)
+		return
+	}
+	p.writeF64Slow(a, v)
+}
+
+func (p *Proc) writeF64Slow(a Addr, v float64) {
 	pid, off := p.loc(a, 8)
 	pg := p.writable(pid)
+	p.cacheWrite(pid, pg)
 	putF64(pg.data[off:], v)
 }
 
 // ReadI32 reads a shared int32.
 func (p *Proc) ReadI32(a Addr) int32 {
+	if c := &p.rc; a >= c.lo && a+4 <= c.hi && a&3 == 0 {
+		return int32(getU32(c.data[a-c.lo:]))
+	}
+	return p.readI32Slow(a)
+}
+
+func (p *Proc) readI32Slow(a Addr) int32 {
 	pid, off := p.loc(a, 4)
 	pg := p.readable(pid)
 	if pg.data == nil {
 		return 0
 	}
+	p.cacheRead(pid, pg)
 	return int32(getU32(pg.data[off:]))
 }
 
 // WriteI32 writes a shared int32.
 func (p *Proc) WriteI32(a Addr, v int32) {
+	if c := &p.wc; a >= c.lo && a+4 <= c.hi && a&3 == 0 {
+		putU32(c.data[a-c.lo:], uint32(v))
+		return
+	}
+	p.writeI32Slow(a, v)
+}
+
+func (p *Proc) writeI32Slow(a Addr, v int32) {
 	pid, off := p.loc(a, 4)
 	pg := p.writable(pid)
+	p.cacheWrite(pid, pg)
 	putU32(pg.data[off:], uint32(v))
 }
 
 // ReadI64 reads a shared int64.
 func (p *Proc) ReadI64(a Addr) int64 {
+	if c := &p.rc; a >= c.lo && a+8 <= c.hi && a&7 == 0 {
+		return int64(getU64(c.data[a-c.lo:]))
+	}
+	return p.readI64Slow(a)
+}
+
+func (p *Proc) readI64Slow(a Addr) int64 {
 	pid, off := p.loc(a, 8)
 	pg := p.readable(pid)
 	if pg.data == nil {
 		return 0
 	}
+	p.cacheRead(pid, pg)
 	return int64(getU64(pg.data[off:]))
 }
 
 // WriteI64 writes a shared int64.
 func (p *Proc) WriteI64(a Addr, v int64) {
+	if c := &p.wc; a >= c.lo && a+8 <= c.hi && a&7 == 0 {
+		putU64(c.data[a-c.lo:], uint64(v))
+		return
+	}
+	p.writeI64Slow(a, v)
+}
+
+func (p *Proc) writeI64Slow(a Addr, v int64) {
 	pid, off := p.loc(a, 8)
 	pg := p.writable(pid)
+	p.cacheWrite(pid, pg)
 	putU64(pg.data[off:], uint64(v))
 }
 
@@ -276,6 +364,9 @@ func (p *Proc) I64Array(base Addr, n int) I64Array {
 
 // Len returns the element count.
 func (a I64Array) Len() int { return a.n }
+
+// Addr returns the address of element i.
+func (a I64Array) Addr(i int) Addr { return a.base + Addr(8*i) }
 
 func (a I64Array) check(i int) {
 	if i < 0 || i >= a.n {

@@ -17,8 +17,11 @@ const (
 	tagDiffResp                // writer's service -> faulting app
 )
 
-// wbuf is a little-endian wire encoder.
+// wbuf is a little-endian wire encoder.  Encoders that know their final
+// size presize b's capacity so a message costs one allocation.
 type wbuf struct{ b []byte }
+
+func newWbuf(capacity int) wbuf { return wbuf{b: make([]byte, 0, capacity)} }
 
 func (w *wbuf) u8(v int)  { w.b = append(w.b, byte(v)) }
 func (w *wbuf) u16(v int) { w.b = binary.LittleEndian.AppendUint16(w.b, uint16(v)) }
@@ -75,6 +78,15 @@ func (r *rbuf) bytes(n int) []byte {
 	r.pos += n
 	return v
 }
+
+// view returns n bytes without copying; the slice aliases the wire
+// buffer, so callers must treat it as immutable.
+func (r *rbuf) view(n int) []byte {
+	r.need(n)
+	v := r.b[r.pos : r.pos+n : r.pos+n]
+	r.pos += n
+	return v
+}
 func (r *rbuf) vc() VC {
 	n := r.u16()
 	v := make(VC, n)
@@ -98,6 +110,29 @@ type IntervalRec struct {
 	Pages []int
 }
 
+// pageRuns counts the maximal contiguous runs in a sorted page list.
+func pageRuns(pages []int) int {
+	runs := 0
+	next := -1
+	for _, pg := range pages {
+		if pg != next {
+			runs++
+		}
+		next = pg + 1
+	}
+	return runs
+}
+
+// recordsSize returns the exact encoded size of a record batch, so
+// callers can presize their buffers.
+func recordsSize(recs []*IntervalRec) int {
+	n := 4
+	for _, r := range recs {
+		n += 2 + 4 + (2 + 4*len(r.VC)) + 4 + 8*pageRuns(r.Pages)
+	}
+	return n
+}
+
 // encodeRecords writes interval records; write-notice page lists are
 // encoded as run-length ranges, since applications overwhelmingly write
 // contiguous page runs (SOR bands, FFT planes, bucket arrays).  The lists
@@ -108,19 +143,16 @@ func encodeRecords(w *wbuf, recs []*IntervalRec) {
 		w.u16(r.Proc)
 		w.u32(r.Idx)
 		w.vc(r.VC)
-		type rng struct{ start, n int }
-		var runs []rng
-		for _, pg := range r.Pages {
-			if len(runs) > 0 && pg == runs[len(runs)-1].start+runs[len(runs)-1].n {
-				runs[len(runs)-1].n++
-				continue
+		w.u32(pageRuns(r.Pages))
+		for i := 0; i < len(r.Pages); {
+			start := r.Pages[i]
+			j := i + 1
+			for j < len(r.Pages) && r.Pages[j] == r.Pages[j-1]+1 {
+				j++
 			}
-			runs = append(runs, rng{pg, 1})
-		}
-		w.u32(len(runs))
-		for _, rn := range runs {
-			w.u32(rn.start)
-			w.u32(rn.n)
+			w.u32(start)
+			w.u32(j - i)
+			i = j
 		}
 	}
 }
@@ -131,6 +163,13 @@ func decodeRecords(r *rbuf) []*IntervalRec {
 	for i := range recs {
 		rec := &IntervalRec{Proc: r.u16(), Idx: r.u32(), VC: r.vc()}
 		nr := r.u32()
+		// Runs are fixed-size, so the page total is known up front.
+		r.need(8 * nr)
+		total := 0
+		for j := 0; j < nr; j++ {
+			total += int(binary.LittleEndian.Uint32(r.b[r.pos+8*j+4:]))
+		}
+		rec.Pages = make([]int, 0, total)
 		for j := 0; j < nr; j++ {
 			start := r.u32()
 			cnt := r.u32()
@@ -151,7 +190,7 @@ type acqMsg struct {
 }
 
 func (m *acqMsg) encode() []byte {
-	var w wbuf
+	w := newWbuf(2 + 2 + 2 + 4*len(m.VC))
 	w.u16(m.Lock)
 	w.u16(m.Requester)
 	w.vc(m.VC)
@@ -173,7 +212,7 @@ type grantMsg struct {
 }
 
 func (m *grantMsg) encode() []byte {
-	var w wbuf
+	w := newWbuf(2 + recordsSize(m.Records))
 	w.u16(m.Lock)
 	encodeRecords(&w, m.Records)
 	return w.b
@@ -197,7 +236,7 @@ type barrMsg struct {
 }
 
 func (m *barrMsg) encode() []byte {
-	var w wbuf
+	w := newWbuf(2 + 2 + 2 + 4*len(m.VC) + recordsSize(m.Records))
 	w.u16(m.Barrier)
 	w.u16(m.From)
 	w.vc(m.VC)
@@ -227,7 +266,7 @@ type diffReqMsg struct {
 }
 
 func (m *diffReqMsg) encode() []byte {
-	var w wbuf
+	w := newWbuf(4 + 2 + 2 + 6*len(m.Wants))
 	w.u32(m.Page)
 	w.u16(m.Requester)
 	w.u16(len(m.Wants))
@@ -264,7 +303,11 @@ type diffRespMsg struct {
 }
 
 func (m *diffRespMsg) encode() []byte {
-	var w wbuf
+	n := 4 + 2
+	for _, e := range m.Entries {
+		n += 8 + e.Diff.Size()
+	}
+	w := newWbuf(n)
 	w.u32(m.Page)
 	w.u16(len(m.Entries))
 	for _, e := range m.Entries {
@@ -288,11 +331,13 @@ func decodeDiffResp(b []byte) *diffRespMsg {
 	for i := range m.Entries {
 		e := diffEntry{Proc: r.u16(), Idx: r.u32()}
 		nr := r.u16()
-		d := &Diff{Page: m.Page}
+		d := &Diff{Page: m.Page, Runs: make([]Run, 0, nr)}
 		for j := 0; j < nr; j++ {
 			off := r.u16()
 			ln := r.u16()
-			d.Runs = append(d.Runs, Run{Off: off, Data: r.bytes(ln)})
+			// Decoded run data aliases the arrived payload (read-only by
+			// construction: diffs are only ever applied, never edited).
+			d.Runs = append(d.Runs, Run{Off: off, Data: r.view(ln)})
 		}
 		e.Diff = d
 		m.Entries[i] = e

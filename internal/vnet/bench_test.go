@@ -1,0 +1,51 @@
+package vnet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkEngine measures the scheduler's per-message cost with a token
+// circulating around a ring of procs, all blocked in Recv except the
+// holder.  One benchmark iteration is one full circulation (procs hops);
+// the hop/op metric is the per-scheduling-step cost.  Larger rings expose
+// how the engine's step cost scales with the number of blocked procs.
+func BenchmarkEngine(b *testing.B) {
+	for _, procs := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			n := New(FDDI())
+			e := sim.NewEngine()
+			eps := make([]*Endpoint, procs)
+			for i := range eps {
+				eps[i] = n.NewEndpoint(i, true)
+			}
+			payload := make([]byte, 64)
+			k := b.N
+			for i := 0; i < procs; i++ {
+				id := i
+				e.Spawn(fmt.Sprintf("p%d", id), false, func(c *sim.Ctx) {
+					prev := (id + procs - 1) % procs
+					next := (id + 1) % procs
+					if id == 0 {
+						eps[0].Send(c, eps[next], 1, payload)
+					}
+					for r := 0; r < k; r++ {
+						eps[id].Recv(c, prev, 1)
+						if id == 0 && r == k-1 {
+							break // final hop: stop the token
+						}
+						eps[id].Send(c, eps[next], 1, payload)
+					}
+				})
+			}
+			b.ResetTimer()
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*procs), "ns/hop")
+		})
+	}
+}

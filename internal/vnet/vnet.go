@@ -119,13 +119,34 @@ type Endpoint struct {
 	inbox    []*Message
 	datagram bool // true: UDP accounting (fragments, headers)
 	stats    Stats
+
+	// Scheduler integration: the owner blocks in Recv against wake, and
+	// every Send into this inbox notifies it, so only this endpoint's
+	// waiter is re-polled when a message arrives.  The condition closure
+	// is allocated once and parameterized through wFrom/wTag (safe: the
+	// endpoint has a single consumer).
+	wake        sim.Source
+	wFrom, wTag int
+	wCond       sim.Cond
+	wWhat       func() string
 }
 
 // NewEndpoint attaches node to the network.  datagram selects UDP
 // accounting (fragmentation, per-fragment headers); otherwise the endpoint
 // behaves like a direct TCP connection (one message per send).
 func (n *Network) NewEndpoint(node int, datagram bool) *Endpoint {
-	return &Endpoint{net: n, node: node, datagram: datagram}
+	e := &Endpoint{net: n, node: node, datagram: datagram}
+	e.wCond = func() (sim.Time, bool) {
+		i := e.earliest(e.wFrom, e.wTag)
+		if i < 0 {
+			return 0, false
+		}
+		return e.inbox[i].Arrival, true
+	}
+	e.wWhat = func() string {
+		return fmt.Sprintf("recv(node=%d from=%d tag=%d)", e.node, e.wFrom, e.wTag)
+	}
+	return e
 }
 
 // Node returns the endpoint's node id.
@@ -150,6 +171,7 @@ func (e *Endpoint) Send(ctx *sim.Ctx, dst *Endpoint, tag int, payload []byte) in
 		m := &Message{From: e.node, To: dst.node, Tag: tag, Payload: payload,
 			Arrival: ctx.Now() + cfg.LocalDelay, seq: e.net.seq, local: true}
 		dst.inbox = append(dst.inbox, m)
+		dst.wake.Notify()
 		return 1
 	}
 	frags := 1
@@ -167,6 +189,7 @@ func (e *Endpoint) Send(ctx *sim.Ctx, dst *Endpoint, tag int, payload []byte) in
 	e.net.seq++
 	m := &Message{From: e.node, To: dst.node, Tag: tag, Payload: payload, Arrival: arrival, seq: e.net.seq}
 	dst.inbox = append(dst.inbox, m)
+	dst.wake.Notify()
 
 	// Accounting.
 	if e.datagram {
@@ -207,14 +230,11 @@ func (e *Endpoint) earliest(from, tag int) int {
 // Recv blocks until a message matching (from, tag) arrives, consumes it,
 // and charges the receiver's clock.  Negative from/tag are wildcards.
 func (e *Endpoint) Recv(ctx *sim.Ctx, from, tag int) *Message {
-	what := fmt.Sprintf("recv(node=%d from=%d tag=%d)", e.node, from, tag)
-	ctx.Wait(what, func() (sim.Time, bool) {
-		i := e.earliest(from, tag)
-		if i < 0 {
-			return 0, false
-		}
-		return e.inbox[i].Arrival, true
-	})
+	if e.wake.HasWaiter() {
+		panic(fmt.Sprintf("vnet: concurrent Recv on endpoint %d (endpoints are single-consumer)", e.node))
+	}
+	e.wFrom, e.wTag = from, tag
+	ctx.WaitOnLazy(&e.wake, e.wWhat, e.wCond)
 	i := e.earliest(from, tag)
 	if i < 0 {
 		panic("vnet: woke with no matching message")
