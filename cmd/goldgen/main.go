@@ -3,7 +3,12 @@
 // Its output is a stable golden reference: capture it before and after an
 // engine or protocol change and diff — any difference means the change
 // altered modeled physics, not just implementation.  The pinned values in
-// internal/harness/golden_test.go are regenerated from this output.
+// internal/harness/golden_test.go are regenerated from this output:
+//
+//	go run ./cmd/goldgen -format go
+//
+// emits the Go table literal to paste over the `golden` map, so
+// regeneration after an intentional model change is mechanical.
 package main
 
 import (
@@ -15,9 +20,21 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 0.1, "workload scale (1.0 = paper scale)")
+	format := flag.String("format", "text", `output format: "text" (diffable lines) or "go" (golden_test.go table literal)`)
 	flag.Parse()
+
+	type row struct {
+		name      string
+		sys       string
+		time      [3]int64
+		msgs      [3]int64
+		bytesOnWr [3]int64
+	}
+	var rows []row
 	for _, r := range harness.Experiments(*scale) {
-		for _, n := range []int{2, 4, 8} {
+		tr := row{name: r.Name, sys: "tmk"}
+		pr := row{name: r.Name, sys: "pvm"}
+		for i, n := range []int{2, 4, 8} {
 			tres, err := r.TMK(n)
 			if err != nil {
 				panic(err)
@@ -26,8 +43,38 @@ func main() {
 			if err != nil {
 				panic(err)
 			}
-			fmt.Printf("%s tmk n=%d time=%d msgs=%d bytes=%d\n", r.Name, n, tres.Time, tres.Net.Messages, tres.Net.Bytes)
-			fmt.Printf("%s pvm n=%d time=%d msgs=%d bytes=%d\n", r.Name, n, pres.Time, pres.Net.Messages, pres.Net.Bytes)
+			tr.time[i], tr.msgs[i], tr.bytesOnWr[i] = int64(tres.Time), tres.Net.Messages, tres.Net.Bytes
+			pr.time[i], pr.msgs[i], pr.bytesOnWr[i] = int64(pres.Time), pres.Net.Messages, pres.Net.Bytes
 		}
+		rows = append(rows, tr, pr)
+	}
+
+	switch *format {
+	case "text":
+		for i := 0; i < len(rows); i += 2 {
+			for j, n := range []int{2, 4, 8} {
+				for _, r := range []row{rows[i], rows[i+1]} {
+					fmt.Printf("%s %s n=%d time=%d msgs=%d bytes=%d\n",
+						r.name, r.sys, n, r.time[j], r.msgs[j], r.bytesOnWr[j])
+				}
+			}
+		}
+	case "go":
+		fmt.Printf("var golden = map[string]map[string][3]metric{\n")
+		for i := 0; i < len(rows); i += 2 {
+			fmt.Printf("\t%q: {\n", rows[i].name)
+			for _, r := range []row{rows[i], rows[i+1]} {
+				fmt.Printf("\t\t%q: {\n", r.sys)
+				for j, n := range []int{2, 4, 8} {
+					fmt.Printf("\t\t\t{time: %d, msgs: %d, bytes: %d}, // n=%d\n",
+						r.time[j], r.msgs[j], r.bytesOnWr[j], n)
+				}
+				fmt.Printf("\t\t},\n")
+			}
+			fmt.Printf("\t},\n")
+		}
+		fmt.Printf("}\n")
+	default:
+		panic(fmt.Sprintf("goldgen: unknown format %q", *format))
 	}
 }

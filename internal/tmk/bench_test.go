@@ -79,3 +79,50 @@ func BenchmarkAccess(b *testing.B) {
 		b.SetBytes(8 * nwords)
 	})
 }
+
+// BenchmarkFault measures the fault path end to end on a two-processor
+// system: each round, proc 0 writes one word on each of several pages and
+// both processors cross a barrier; proc 1 then reads every page, taking
+// one access fault per page (write-notice scan, minimal cover, diff
+// request/response, happens-before apply).  Allocations per round are the
+// fault path's GC footprint.
+func BenchmarkFault(b *testing.B) {
+	const pages = 8
+	e := sim.NewEngine()
+	n := vnet.New(vnet.FDDI())
+	s := NewSystem(e, n, 2, DefaultConfig())
+	base := s.MallocPageAligned(4096 * pages)
+	k := b.N
+	s.Spawn(0, func(p *Proc) {
+		for r := 0; r < k; r++ {
+			for pg := 0; pg < pages; pg++ {
+				p.WriteI64(base+Addr(pg*4096), int64(r+pg))
+			}
+			p.Barrier(2 * r)
+			p.Barrier(2*r + 1)
+		}
+	})
+	var faults int
+	s.Spawn(1, func(p *Proc) {
+		for r := 0; r < k; r++ {
+			p.Barrier(2 * r)
+			for pg := 0; pg < pages; pg++ {
+				if got := p.ReadI64(base + Addr(pg*4096)); got != int64(r+pg) {
+					b.Errorf("round %d page %d: got %d", r, pg, got)
+					return
+				}
+			}
+			p.Barrier(2*r + 1)
+		}
+		faults = p.Faults
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if faults != pages*k {
+		b.Fatalf("faults = %d, want %d", faults, pages*k)
+	}
+}

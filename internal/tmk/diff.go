@@ -42,10 +42,23 @@ type Run struct {
 // scan — diff sizes feed modeled time and wire accounting, which must not
 // drift.
 func MakeDiff(page int, twin, cur []byte) *Diff {
+	return makeDiff(page, twin, cur, nil)
+}
+
+// makeDiff is MakeDiff with an optional arena backing the Diff header and
+// the run payload copies (both permanent once the diff is filed).  The
+// encoding produced is identical either way.
+func makeDiff(page int, twin, cur []byte, a *memArena) *Diff {
 	if len(twin) != len(cur) {
 		panic(fmt.Sprintf("tmk: diff size mismatch %d vs %d", len(twin), len(cur)))
 	}
-	d := &Diff{Page: page}
+	var d *Diff
+	if a != nil {
+		d = a.newDiff()
+		d.Page = page
+	} else {
+		d = &Diff{Page: page}
+	}
 	n := len(cur)
 	i := 0
 	for i < n {
@@ -74,12 +87,23 @@ func MakeDiff(page int, twin, cur []byte) *Diff {
 			last := &d.Runs[nr-1]
 			gap := i - (last.Off + len(last.Data))
 			if gap <= 8 {
+				// May outgrow an arena-carved payload; append then falls
+				// back to the heap, which is correct, just unpooled.
 				last.Data = append(last.Data, cur[last.Off+len(last.Data):j]...)
 				i = j
 				continue
 			}
 		}
-		d.Runs = append(d.Runs, Run{Off: i, Data: append([]byte(nil), cur[i:j]...)})
+		var data []byte
+		if a != nil {
+			data = a.cloneBytes(cur[i:j])
+			if d.Runs == nil {
+				d.Runs = a.newRuns(4) // seed; growth past 4 goes to the heap
+			}
+		} else {
+			data = append([]byte(nil), cur[i:j]...)
+		}
+		d.Runs = append(d.Runs, Run{Off: i, Data: data})
 		i = j
 	}
 	return d

@@ -201,3 +201,40 @@ func TestManyPagesSparseWrites(t *testing.T) {
 		}
 	})
 }
+
+// TestCoverScratchReuse: consecutive faults with different cover shapes.
+// The reader faults on a page with two concurrent writers (two-target
+// cover), then pages with a single writer (one-target cover), round after
+// round — the reused cover scratch (target slots and their want lists)
+// and the per-fault request objects must not leak state between faults of
+// different shapes.
+func TestCoverScratchReuse(t *testing.T) {
+	const rounds = 6
+	eng, sys := world(3)
+	a := sys.MallocPageAligned(4096 * 3)
+	runAll(t, eng, sys, func(p *Proc) {
+		for r := 0; r < rounds; r++ {
+			base := int64(100 * r)
+			switch p.ID() {
+			case 0:
+				p.WriteI64(a, base+1)      // page 0, writer A
+				p.WriteI64(a+4096, base+2) // page 1, sole writer
+			case 1:
+				p.WriteI64(a+8, base+3)      // page 0, writer B
+				p.WriteI64(a+2*4096, base+4) // page 2, sole writer
+			}
+			p.Barrier(2 * r)
+			if p.ID() == 2 {
+				for _, c := range []struct {
+					at   Addr
+					want int64
+				}{{a, base + 1}, {a + 8, base + 3}, {a + 4096, base + 2}, {a + 2*4096, base + 4}} {
+					if got := p.ReadI64(c.at); got != c.want {
+						t.Errorf("round %d addr %d: got %d, want %d", r, c.at, got, c.want)
+					}
+				}
+			}
+			p.Barrier(2*r + 1)
+		}
+	})
+}

@@ -30,6 +30,28 @@
 // Each processor runs two simulated threads: the application thread and a
 // service daemon that answers lock and diff requests, standing in for the
 // SIGIO-driven request handlers of the real system.
+//
+// # Fault-path layout
+//
+// The protocol state backing the fault path is fully indexed; nothing on
+// it scans or hashes:
+//
+//   - Diffs live per page, per writer, densely indexed by interval idx
+//     (writerDiffs): fault, handleDiffReq and applyPending look a diff up
+//     in O(1).  A processor's interval idxs only grow, so each store is a
+//     base-offset slice.
+//   - applyPending orders pending write notices by merging per-writer
+//     head cursors (notices of one writer are already totally ordered);
+//     readiness is a single vector-clock component test.  Application is
+//     linear in the common single-writer case.
+//   - Protocol messages travel as structured objects with modeled wire
+//     sizes (vnet.SendObj); the encoders in wire.go remain the documented
+//     wire format and are pinned against the size functions by test.
+//     Interval records and diffs are immutable once published and are
+//     shared between processors rather than re-decoded.
+//   - Per-fault scratch (missing-notice list, cover targets, request
+//     objects, apply cursors) is recycled on the Proc; long-lived records
+//     and diffs are carved from a per-processor memArena.
 package tmk
 
 import (
@@ -95,7 +117,6 @@ func NewSystem(eng *sim.Engine, net *vnet.Network, n int, cfg Config) *System {
 			ep:        net.NewEndpoint(i, true),
 			srv:       net.NewEndpoint(i, true),
 			vc:        NewVC(n),
-			diffs:     map[diffKey]*Diff{},
 			locks:     map[int]*plock{},
 			recs:      make([][]*IntervalRec, n),
 			lastMgrVC: NewVC(n),
@@ -222,14 +243,160 @@ func (s *System) Stats() vnet.Stats { return s.net.WireStats() }
 
 // page is one processor's copy of a shared page.
 type page struct {
-	data  []byte     // nil means all-zero (never written locally)
-	valid bool       // false: must fetch missing diffs before access
-	twin  []byte     // pre-modification copy; non-nil while dirty
-	wn    []diffWant // write notices not yet applied locally
+	data  []byte        // nil means all-zero (never written locally)
+	valid bool          // false: must fetch missing diffs before access
+	twin  []byte        // pre-modification copy; non-nil while dirty
+	wn    []diffWant    // write notices not yet applied locally
+	dw    []writerDiffs // held diffs, one slot per writer; nil until first store
 }
 
-type diffKey struct {
-	page, proc, idx int
+// writerDiffs holds the diffs one processor stores for one page from one
+// writer, indexed densely by interval idx.  Both producers insert with
+// increasing idx per (page, writer) — closeInterval files own diffs as the
+// interval counter advances, and fault files fetched diffs in write-notice
+// order, which applyRecords keeps contiguous per writer — so the store is
+// a base-offset slice with nil holes for intervals that left no diff here.
+// Lookup is O(1), replacing the former global map keyed by
+// (page, proc, idx).
+type writerDiffs struct {
+	base int32
+	ds   []*Diff
+}
+
+func (w *writerDiffs) get(idx int) *Diff {
+	i := idx - int(w.base)
+	if i < 0 || i >= len(w.ds) {
+		return nil
+	}
+	return w.ds[i]
+}
+
+func (w *writerDiffs) put(idx int, d *Diff, a *memArena) {
+	if len(w.ds) == 0 {
+		w.base = int32(idx)
+		if w.ds == nil {
+			w.ds = a.newDiffSlots(8)
+		}
+		w.ds = append(w.ds, d)
+		return
+	}
+	i := idx - int(w.base)
+	if i < 0 {
+		// The protocol's insert paths only ever grow idx per (page,
+		// writer); a lower idx means that invariant broke upstream.
+		panic(fmt.Sprintf("tmk: diff store insert at idx %d below base %d", idx, w.base))
+	}
+	for len(w.ds) <= i {
+		w.ds = append(w.ds, nil)
+	}
+	w.ds[i] = d
+}
+
+// diffOf returns the diff this processor holds for (pg, writer proc,
+// interval idx), or nil.
+func (p *Proc) diffOf(pg *page, proc, idx int) *Diff {
+	if pg.dw == nil {
+		return nil
+	}
+	return pg.dw[proc].get(idx)
+}
+
+// storeDiff files d as the diff of (writer proc, interval idx) for pg.
+func (p *Proc) storeDiff(pg *page, proc, idx int, d *Diff) {
+	if pg.dw == nil {
+		pg.dw = make([]writerDiffs, p.sys.n)
+	}
+	pg.dw[proc].put(idx, d, &p.arena)
+}
+
+// memArena batches the allocations behind long-lived protocol state: Diff
+// headers and Runs arrays (created locally or received in diff responses),
+// run payload bytes, and the IntervalRec/VC/page-list triples decoded from
+// grant and barrier messages.  All of it is (almost always) permanent —
+// a processor holds every diff it has created or fetched and every
+// interval record it has learned — so the arena only amortizes
+// allocation; it never reclaims.  Carving always moves forward through a
+// freshly allocated chunk, so carved memory starts zeroed and is never
+// handed out twice.
+type memArena struct {
+	hdrs  []Diff
+	runs  []Run
+	bytes []byte
+	recs  []IntervalRec
+	vcs   []int32
+	pages []int
+	slots []*Diff
+}
+
+func (a *memArena) newDiff() *Diff {
+	if len(a.hdrs) == 0 {
+		a.hdrs = make([]Diff, 64)
+	}
+	d := &a.hdrs[0]
+	a.hdrs = a.hdrs[1:]
+	return d
+}
+
+// newRuns returns an empty capacity-n Run slice carved from the arena.
+func (a *memArena) newRuns(n int) []Run {
+	if n > len(a.runs) {
+		a.runs = make([]Run, max(256, n))
+	}
+	s := a.runs[:n:n]
+	a.runs = a.runs[n:]
+	return s[:0]
+}
+
+// cloneBytes copies b into arena storage.
+func (a *memArena) cloneBytes(b []byte) []byte {
+	if len(b) > len(a.bytes) {
+		a.bytes = make([]byte, max(1<<16, len(b)))
+	}
+	s := a.bytes[:len(b):len(b)]
+	a.bytes = a.bytes[len(b):]
+	copy(s, b)
+	return s
+}
+
+func (a *memArena) newRec() *IntervalRec {
+	if len(a.recs) == 0 {
+		a.recs = make([]IntervalRec, 128)
+	}
+	r := &a.recs[0]
+	a.recs = a.recs[1:]
+	return r
+}
+
+// newVC returns a zeroed length-n vector timestamp carved from the arena.
+func (a *memArena) newVC(n int) VC {
+	if n > len(a.vcs) {
+		a.vcs = make([]int32, max(4096, n))
+	}
+	v := a.vcs[:n:n]
+	a.vcs = a.vcs[n:]
+	return VC(v)
+}
+
+// newPages returns an empty capacity-n page list carved from the arena.
+func (a *memArena) newPages(n int) []int {
+	if n > len(a.pages) {
+		a.pages = make([]int, max(4096, n))
+	}
+	s := a.pages[:n:n]
+	a.pages = a.pages[n:]
+	return s[:0]
+}
+
+// newDiffSlots returns an empty capacity-n diff-pointer slice carved from
+// the arena, seeding a writerDiffs store (growth past n falls back to the
+// heap).
+func (a *memArena) newDiffSlots(n int) []*Diff {
+	if n > len(a.slots) {
+		a.slots = make([]*Diff, max(1024, n))
+	}
+	s := a.slots[:n:n]
+	a.slots = a.slots[n:]
+	return s[:0]
 }
 
 // plock is a processor's view of one lock.
@@ -260,8 +427,7 @@ type Proc struct {
 	pages     []*page
 	vc        VC
 	recs      [][]*IntervalRec // [proc][idx], contiguous
-	diffs     map[diffKey]*Diff
-	dirty     []int // pages twinned in the current interval
+	dirty     []int            // pages twinned in the current interval
 	locks     map[int]*plock
 	lastMgrVC VC // barrier manager's merged vc at the last departure
 	barrier   *barrierState
@@ -276,12 +442,23 @@ type Proc struct {
 	wc accCache
 
 	// Allocation recycling for protocol hot paths.
-	twinFree  [][]byte // page-size buffers returned by closeInterval
-	ordBuf    []diffWant
-	usedBuf   []bool
-	latestBuf []*IntervalRec // minimalCover: latest missing interval per writer
-	candBuf   []int
-	chosenBuf []int
+	twinFree [][]byte // page-size buffers returned by closeInterval
+
+	// Fault-path scratch, reused across faults.  Everything here is valid
+	// only while the owning fault runs: missBuf and cover from fault entry
+	// until the last diff response is in, reqMsgs until every server has
+	// read its request (guaranteed by then), the wr* group within one
+	// applyPending call.  Arena carvings are the exception — they become
+	// permanent protocol state.
+	missBuf []diffWant
+	reqMsgs []diffReqMsg // per-target request objects of the current fault
+	arena   memArena
+	cover   coverScratch
+	wrCount []int32 // applyPending: per-writer pending count / scatter cursor
+	wrPos   []int32 // applyPending: per-writer head cursor into wrIdx
+	wrEnd   []int32 // applyPending: per-writer group end in wrIdx
+	wrIdx   []int32 // applyPending: pending interval idxs grouped by writer
+	wrList  []int32 // applyPending: writers with pending notices, ascending
 
 	// Behavioral counters (not wire stats): useful for analysis output.
 	Faults       int
@@ -351,15 +528,17 @@ func (p *Proc) closeInterval() {
 	}
 	sort.Ints(p.dirty)
 	idx := int(p.vc[p.id])
-	rec := &IntervalRec{Proc: p.id, Idx: idx, Pages: append([]int(nil), p.dirty...)}
+	rec := p.arena.newRec()
+	rec.Proc, rec.Idx = p.id, idx
+	rec.Pages = append(p.arena.newPages(len(p.dirty)), p.dirty...)
 	cfg := p.sys.cfg
 	for _, pid := range p.dirty {
 		pg := p.pages[pid]
 		if pg.twin == nil {
 			panic("tmk: dirty page without twin")
 		}
-		d := MakeDiff(pid, pg.twin, pg.getData(cfg.PageSize))
-		p.diffs[diffKey{pid, p.id, idx}] = d
+		d := makeDiff(pid, pg.twin, pg.getData(cfg.PageSize), &p.arena)
+		p.storeDiff(pg, p.id, idx, d)
 		p.twinFree = append(p.twinFree, pg.twin) // recycle: diffs copy out of cur, never twin
 		pg.twin = nil
 		p.app.Compute(sim.Time(cfg.PageSize) * cfg.DiffCreatePerByte)
@@ -367,8 +546,36 @@ func (p *Proc) closeInterval() {
 	p.dirty = p.dirty[:0]
 	p.wc = accCache{} // twins dropped: writes must re-twin via the slow path
 	p.vc[p.id]++
-	rec.VC = p.vc.Clone() // timestamp includes the interval itself
+	// Timestamp includes the interval itself.
+	rec.VC = p.arena.newVC(p.sys.n)
+	copy(rec.VC, p.vc)
 	p.recs[p.id] = append(p.recs[p.id], rec)
+}
+
+// recsByProcIdx orders interval records by (Proc, Idx).
+type recsByProcIdx []*IntervalRec
+
+func (s recsByProcIdx) Len() int      { return len(s) }
+func (s recsByProcIdx) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s recsByProcIdx) Less(i, j int) bool {
+	if s[i].Proc != s[j].Proc {
+		return s[i].Proc < s[j].Proc
+	}
+	return s[i].Idx < s[j].Idx
+}
+
+// sortRecords puts a record batch in (Proc, Idx) order.  Senders build
+// batches in exactly that order, so the usual outcome is the free
+// already-sorted check (done with direct method calls — sort.IsSorted
+// would box the slice into an interface on every call).
+func sortRecords(recs []*IntervalRec) {
+	s := recsByProcIdx(recs)
+	for i := 1; i < len(s); i++ {
+		if s.Less(i, i-1) {
+			sort.Sort(s)
+			return
+		}
+	}
 }
 
 // applyRecords merges incoming interval records: stores them, advances
@@ -380,12 +587,7 @@ func (p *Proc) applyRecords(recs []*IntervalRec) {
 	p.wc = accCache{}
 	// Records may arrive batched out of order across processors; apply
 	// each processor's records in index order.
-	sort.Slice(recs, func(i, j int) bool {
-		if recs[i].Proc != recs[j].Proc {
-			return recs[i].Proc < recs[j].Proc
-		}
-		return recs[i].Idx < recs[j].Idx
-	})
+	sortRecords(recs)
 	for _, r := range recs {
 		have := len(p.recs[r.Proc])
 		if r.Idx < have {
@@ -415,9 +617,26 @@ func (p *Proc) applyRecords(recs []*IntervalRec) {
 
 // recordsNotCoveredBy collects every known interval record the given
 // timestamp has not seen, optionally bounded above by limit (records the
-// sender knew by its release).
+// sender knew by its release).  The records themselves are shared, never
+// copied: they are immutable once published.  The slice is freshly
+// allocated at exact size — it travels inside a message object and lives
+// until the receiver has applied it.
 func (p *Proc) recordsNotCoveredBy(from VC, limit VC) []*IntervalRec {
-	var out []*IntervalRec
+	total := 0
+	for q := 0; q < p.sys.n; q++ {
+		lo := int(from[q])
+		hi := len(p.recs[q])
+		if limit != nil && int(limit[q]) < hi {
+			hi = int(limit[q])
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]*IntervalRec, 0, total)
 	for q := 0; q < p.sys.n; q++ {
 		lo := int(from[q])
 		hi := len(p.recs[q])
@@ -451,7 +670,11 @@ func (p *Proc) LockAcquire(id int) {
 	}
 	p.closeInterval()
 	lk.awaiting = true
-	req := &acqMsg{Lock: id, Requester: p.id, VC: p.vc.Clone()}
+	// The live vector backs the request timestamp without a clone: this
+	// processor blocks until the grant arrives, and every reader (manager,
+	// owner) runs while it is blocked, so the vector cannot move under
+	// them.
+	req := &acqMsg{Lock: id, Requester: p.id, VC: p.vc}
 	mgr := p.manager(id)
 	if mgr == p.id {
 		// We are the manager: perform the manager step locally and
@@ -462,16 +685,16 @@ func (p *Proc) LockAcquire(id int) {
 		if prev == p.id {
 			panic("tmk: manager re-requesting a lock it last requested but does not own")
 		}
-		p.ep.Send(p.app, p.sys.procs[prev].srv, tagAcqFwd, req.encode())
+		p.ep.SendObj(p.app, p.sys.procs[prev].srv, tagAcqFwd, req, req.wireSize())
 		p.LockMsgs++
 	} else {
-		p.ep.Send(p.app, p.sys.procs[mgr].srv, tagAcqReq, req.encode())
+		p.ep.SendObj(p.app, p.sys.procs[mgr].srv, tagAcqReq, req, req.wireSize())
 		p.LockMsgs++
 	}
 	t0 := p.app.Now()
 	m := p.ep.Recv(p.app, -1, tagGrant)
 	p.LockWait += p.app.Now() - t0
-	g := decodeGrant(m.Payload)
+	g := m.Obj.(*grantMsg)
 	if g.Lock != id {
 		panic(fmt.Sprintf("tmk: proc %d got grant for lock %d while acquiring %d", p.id, g.Lock, id))
 	}
@@ -508,7 +731,7 @@ func (p *Proc) LockRelease(id int) {
 // lacks, bounded by what this processor knew at its release.
 func (p *Proc) sendGrant(ctx *sim.Ctx, from *vnet.Endpoint, lockID, requester int, reqVC, limitVC VC) {
 	g := &grantMsg{Lock: lockID, Records: p.recordsNotCoveredBy(reqVC, limitVC)}
-	from.Send(ctx, p.sys.procs[requester].ep, tagGrant, g.encode())
+	from.SendObj(ctx, p.sys.procs[requester].ep, tagGrant, g, g.wireSize())
 	p.LockMsgs++
 }
 
@@ -522,15 +745,18 @@ func (p *Proc) Barrier(id int) {
 	arr := &barrMsg{
 		Barrier: id,
 		From:    p.id,
-		VC:      p.vc.Clone(),
+		// The live vector is safe to share: this processor blocks until
+		// departure, and the manager reads arrival timestamps before any
+		// departure is delivered.
+		VC:      p.vc,
 		Records: p.recordsNotCoveredBy(p.lastMgrVC, nil),
 	}
 	mgr := p.sys.procs[0]
-	p.ep.Send(p.app, mgr.srv, tagBarrArrive, arr.encode())
+	p.ep.SendObj(p.app, mgr.srv, tagBarrArrive, arr, arr.wireSize())
 	t0 := p.app.Now()
 	m := p.ep.Recv(p.app, 0, tagBarrDepart)
 	p.BarrierWait += p.app.Now() - t0
-	dep := decodeBarr(m.Payload)
+	dep := m.Obj.(*barrMsg)
 	if dep.Barrier != id {
 		panic(fmt.Sprintf("tmk: proc %d got departure for barrier %d while in %d", p.id, dep.Barrier, id))
 	}
@@ -567,14 +793,9 @@ func (p *Proc) handleBarrArrive(ctx *sim.Ctx, m *barrMsg) {
 				out = append(out, r)
 			}
 		}
-		sort.Slice(out, func(i, j int) bool {
-			if out[i].Proc != out[j].Proc {
-				return out[i].Proc < out[j].Proc
-			}
-			return out[i].Idx < out[j].Idx
-		})
+		sort.Sort(recsByProcIdx(out))
 		dep := &barrMsg{Barrier: bs.id, From: 0, VC: merged, Records: out}
-		p.srv.Send(ctx, p.sys.procs[a.From].ep, tagBarrDepart, dep.encode())
+		p.srv.SendObj(ctx, p.sys.procs[a.From].ep, tagBarrDepart, dep, dep.wireSize())
 	}
 	bs.arrived = nil
 	bs.id = -1
@@ -590,25 +811,25 @@ func (p *Proc) serve(ctx *sim.Ctx) {
 		ctx.Compute(p.sys.cfg.HandlerOverhead)
 		switch m.Tag {
 		case tagAcqReq:
-			req := decodeAcq(m.Payload)
+			req := m.Obj.(*acqMsg)
 			lk := p.lock(req.Lock)
 			prev := lk.mgrLast
 			lk.mgrLast = req.Requester
 			if prev == p.id {
 				p.grantOrQueue(ctx, req)
 			} else {
-				p.srv.Send(ctx, p.sys.procs[prev].srv, tagAcqFwd, m.Payload)
+				p.srv.SendObj(ctx, p.sys.procs[prev].srv, tagAcqFwd, req, req.wireSize())
 				p.LockMsgs++
 			}
 		case tagAcqFwd:
-			p.grantOrQueue(ctx, decodeAcq(m.Payload))
+			p.grantOrQueue(ctx, m.Obj.(*acqMsg))
 		case tagBarrArrive:
 			if p.id != 0 {
 				panic("tmk: barrier arrival at non-manager")
 			}
-			p.handleBarrArrive(ctx, decodeBarr(m.Payload))
+			p.handleBarrArrive(ctx, m.Obj.(*barrMsg))
 		case tagDiffReq:
-			p.handleDiffReq(ctx, decodeDiffReq(m.Payload))
+			p.handleDiffReq(ctx, m.Obj.(*diffReqMsg))
 		default:
 			panic(fmt.Sprintf("tmk: service got unexpected tag %d", m.Tag))
 		}
@@ -645,16 +866,18 @@ func (p *Proc) grantOrQueue(ctx *sim.Ctx, req *acqMsg) {
 // that modified a page in an interval holds the diffs of all intervals
 // that precede it).
 func (p *Proc) handleDiffReq(ctx *sim.Ctx, req *diffReqMsg) {
-	resp := &diffRespMsg{Page: req.Page}
+	pg := p.pages[req.Page]
+	entries := make([]diffEntry, 0, len(req.Wants))
 	for _, w := range req.Wants {
-		d, ok := p.diffs[diffKey{req.Page, w.Proc, w.Idx}]
-		if !ok {
+		d := p.diffOf(pg, w.Proc, w.Idx)
+		if d == nil {
 			panic(fmt.Sprintf("tmk: proc %d asked for diff (page %d, proc %d, idx %d) it does not hold",
 				p.id, req.Page, w.Proc, w.Idx))
 		}
-		resp.Entries = append(resp.Entries, diffEntry{Proc: w.Proc, Idx: w.Idx, Diff: d})
+		entries = append(entries, diffEntry{Proc: w.Proc, Idx: w.Idx, Diff: d})
 	}
-	p.srv.Send(ctx, p.sys.procs[req.Requester].ep, tagDiffResp, resp.encode())
+	resp := &diffRespMsg{Page: req.Page, Entries: entries}
+	p.srv.SendObj(ctx, p.sys.procs[req.Requester].ep, tagDiffResp, resp, resp.wireSize())
 }
 
 // ---------------------------------------------------------------------
@@ -670,33 +893,42 @@ func (p *Proc) fault(pid int) {
 	pg := p.pages[pid]
 
 	// Which write notices lack local diffs?
-	var missing []diffWant
+	missing := p.missBuf[:0]
 	for _, w := range pg.wn {
-		if _, ok := p.diffs[diffKey{pid, w.Proc, w.Idx}]; !ok {
+		if p.diffOf(pg, w.Proc, w.Idx) == nil {
 			missing = append(missing, w)
 		}
 	}
 
 	if len(missing) > 0 {
-		targets := p.minimalCover(pid, missing)
+		targets := p.minimalCover(missing)
 		// Send all requests, then collect all responses (the real system
-		// overlaps them the same way).
-		for _, t := range targets {
-			req := &diffReqMsg{Page: pid, Requester: p.id, Wants: t.wants}
-			p.ep.Send(p.app, p.sys.procs[t.proc].srv, tagDiffReq, req.encode())
+		// overlaps them the same way).  The request objects live in a
+		// per-fault scratch: every server reads its request before
+		// answering, and all answers arrive before this fault ends, so
+		// the scratch is provably quiescent when the next fault reuses it.
+		if cap(p.reqMsgs) < len(targets) {
+			p.reqMsgs = make([]diffReqMsg, len(targets))
+		}
+		reqs := p.reqMsgs[:len(targets)]
+		for i := range targets {
+			t := &targets[i]
+			reqs[i] = diffReqMsg{Page: pid, Requester: p.id, Wants: t.wants}
+			p.ep.SendObj(p.app, p.sys.procs[t.proc].srv, tagDiffReq, &reqs[i], reqs[i].wireSize())
 			p.DiffRequests++
 		}
-		for _, t := range targets {
-			m := p.ep.Recv(p.app, t.proc, tagDiffResp)
-			resp := decodeDiffResp(m.Payload)
+		for i := range targets {
+			m := p.ep.Recv(p.app, targets[i].proc, tagDiffResp)
+			resp := m.Obj.(*diffRespMsg)
 			if resp.Page != pid {
 				panic("tmk: diff response for wrong page")
 			}
 			for _, e := range resp.Entries {
-				p.diffs[diffKey{pid, e.Proc, e.Idx}] = e.Diff
+				p.storeDiff(pg, e.Proc, e.Idx, e.Diff)
 			}
 		}
 	}
+	p.missBuf = missing[:0]
 
 	// Apply every pending notice's diff in happens-before order.
 	p.applyPending(pid)
@@ -709,61 +941,74 @@ type coverTarget struct {
 	wants []diffWant
 }
 
+// coverScratch is minimalCover's reusable state.  latest and cands are
+// reset on entry, so a panic unwinding mid-cover leaves nothing that the
+// next call could observe; targets — including the want lists inside —
+// back the returned slice and stay valid only until this processor's next
+// fault.
+type coverScratch struct {
+	latest  []*IntervalRec // per writer: latest missing interval (nil: none)
+	cands   []int          // writers with missing diffs, ascending
+	targets []coverTarget  // chosen writers; slice length is the high-water mark
+}
+
 // minimalCover picks the subset of writers to contact: a writer whose
-// latest interval for the page is covered by another candidate's latest
+// latest interval for the page has been seen by another candidate's latest
 // interval need not be asked, because the dominating writer holds its
-// diffs too (paper §2.2.2).
-func (p *Proc) minimalCover(pid int, missing []diffWant) []coverTarget {
-	// Latest missing interval per candidate writer.  Writers are proc ids,
-	// so proc-indexed scratch slices beat maps on this per-fault path.
-	if p.latestBuf == nil {
-		p.latestBuf = make([]*IntervalRec, p.sys.n)
+// diffs too (paper §2.2.2).  Interval timestamps are transitively closed
+// (a record's VC covers the VC of every interval it has seen), so the
+// O(1) CoversInterval component test is exactly the vector comparison.
+// The returned targets alias the processor's cover scratch: valid only
+// until the next fault.
+func (p *Proc) minimalCover(missing []diffWant) []coverTarget {
+	cs := &p.cover
+	if cs.latest == nil {
+		cs.latest = make([]*IntervalRec, p.sys.n)
 	}
-	latest := p.latestBuf
-	for i := range latest {
-		latest[i] = nil
+	for i := range cs.latest {
+		cs.latest[i] = nil
 	}
-	cands := p.candBuf[:0]
+	cands := cs.cands[:0]
 	for _, w := range missing {
 		rec := p.recs[w.Proc][w.Idx]
-		if cur := latest[w.Proc]; cur == nil || rec.Idx > cur.Idx {
+		if cur := cs.latest[w.Proc]; cur == nil || rec.Idx > cur.Idx {
 			if cur == nil {
 				cands = append(cands, w.Proc)
 			}
-			latest[w.Proc] = rec
+			cs.latest[w.Proc] = rec
 		}
 	}
 	sort.Ints(cands)
-	// Drop dominated candidates.
-	chosen := p.chosenBuf[:0]
+	cs.cands = cands
+	// Keep the non-dominated candidates, reusing target slots (and their
+	// want-list backing arrays) from previous faults.
+	nt := 0
 	for _, q := range cands {
 		dominated := false
 		for _, r := range cands {
-			if r == q {
-				continue
-			}
-			if latest[q].VC.Before(latest[r].VC) {
+			if r != q && cs.latest[r].VC.CoversInterval(q, cs.latest[q].Idx) {
 				dominated = true
 				break
 			}
 		}
-		if !dominated {
-			chosen = append(chosen, q)
+		if dominated {
+			continue
 		}
+		if nt < len(cs.targets) {
+			cs.targets[nt].proc = q
+			cs.targets[nt].wants = cs.targets[nt].wants[:0]
+		} else {
+			cs.targets = append(cs.targets, coverTarget{proc: q})
+		}
+		nt++
 	}
-	p.candBuf = cands[:0]
-	p.chosenBuf = chosen // keep backing array; reset on next call
+	targets := cs.targets[:nt]
 	// Assign each missing diff to the first chosen writer that has seen it.
-	out := make([]coverTarget, len(chosen))
-	for i, q := range chosen {
-		out[i].proc = q
-	}
 	for _, w := range missing {
-		rec := p.recs[w.Proc][w.Idx]
 		placed := false
-		for i, q := range chosen {
-			if latest[q].VC.Covers(rec.VC) {
-				out[i].wants = append(out[i].wants, w)
+		for i := range targets {
+			if cs.latest[targets[i].proc].VC.CoversInterval(w.Proc, w.Idx) {
+				targets[i].wants = append(targets[i].wants, w)
 				placed = true
 				break
 			}
@@ -772,66 +1017,132 @@ func (p *Proc) minimalCover(pid int, missing []diffWant) []coverTarget {
 			panic("tmk: missing diff not covered by any chosen writer")
 		}
 	}
-	return out
+	return targets
 }
 
-// applyPending applies every outstanding diff for a page in increasing
-// timestamp order (topological in happens-before, deterministic ties).
+// applyPending applies every outstanding diff for a page in the protocol's
+// happens-before linear order: repeatedly the lowest-numbered writer whose
+// next pending interval is not preceded by another writer's pending
+// interval.  Within one writer intervals are totally ordered, and an
+// unapplied interval of writer r precedes (q, i) only if r's pending head
+// does, so only per-writer heads need comparing; head (q, i) is ready iff
+// no other head (r, j) satisfies rec(q,i).VC[r] > j — the component test
+// again standing in for the full vector comparison.  This reproduces
+// exactly the order of the former repeated-minimal-scan (lexicographically
+// smallest topological extension by (proc, idx)) at O(k·W²) for k notices
+// and W ≤ nprocs pending writers instead of O(k³).
 func (p *Proc) applyPending(pid int) {
 	pg := p.pages[pid]
-	if len(pg.wn) == 0 {
+	k := len(pg.wn)
+	if k == 0 {
 		return
-	}
-	pending := pg.wn // read-only below; reset only after application
-	// Topological order: repeatedly take the happens-before-minimal
-	// notice; break ties by (proc, idx).
-	order := p.ordBuf[:0]
-	used := p.usedBuf[:0]
-	for range pending {
-		used = append(used, false)
-	}
-	for len(order) < len(pending) {
-		best := -1
-		for i, w := range pending {
-			if used[i] {
-				continue
-			}
-			minimal := true
-			for j, x := range pending {
-				if used[j] || i == j {
-					continue
-				}
-				if p.recs[x.Proc][x.Idx].VC.Before(p.recs[w.Proc][w.Idx].VC) {
-					minimal = false
-					break
-				}
-			}
-			if !minimal {
-				continue
-			}
-			if best < 0 || w.Proc < pending[best].Proc ||
-				(w.Proc == pending[best].Proc && w.Idx < pending[best].Idx) {
-				best = i
-			}
-		}
-		if best < 0 {
-			panic("tmk: cycle in happens-before order")
-		}
-		used[best] = true
-		order = append(order, pending[best])
 	}
 	cfg := p.sys.cfg
 	data := pg.getData(cfg.PageSize)
-	for _, w := range order {
-		d := p.diffs[diffKey{pid, w.Proc, w.Idx}]
-		d.Apply(data)
-		p.DiffsApplied++
-		p.DiffBytes += int64(d.Size())
-		p.app.Compute(sim.Time(d.Size()) * cfg.DiffApplyPerByte)
+
+	// Fast path: all notices from one writer, already in interval order.
+	single := true
+	for i := 1; i < k; i++ {
+		if pg.wn[i].Proc != pg.wn[0].Proc {
+			single = false
+			break
+		}
 	}
-	p.ordBuf = order[:0]
-	p.usedBuf = used[:0]
+	if single {
+		for _, w := range pg.wn {
+			p.applyOne(pg, data, w.Proc, w.Idx, cfg)
+		}
+		pg.wn = pg.wn[:0]
+		return
+	}
+
+	// Group pending interval idxs by writer.  The grouping is stable, so
+	// each group keeps the increasing idx order applyRecords established.
+	n := p.sys.n
+	if p.wrCount == nil {
+		p.wrCount = make([]int32, n)
+		p.wrPos = make([]int32, n)
+		p.wrEnd = make([]int32, n)
+	}
+	count := p.wrCount
+	for _, w := range pg.wn {
+		count[w.Proc]++
+	}
+	writers := p.wrList[:0]
+	off := int32(0)
+	for q := 0; q < n; q++ {
+		if count[q] == 0 {
+			continue
+		}
+		writers = append(writers, int32(q))
+		p.wrPos[q] = off
+		off += count[q]
+		p.wrEnd[q] = off
+		count[q] = off - count[q] // scatter cursor: group start
+	}
+	p.wrList = writers
+	if cap(p.wrIdx) < k {
+		p.wrIdx = make([]int32, k)
+	}
+	idxs := p.wrIdx[:k]
+	for _, w := range pg.wn {
+		idxs[count[w.Proc]] = int32(w.Idx)
+		count[w.Proc]++
+	}
+	for _, q := range writers {
+		count[q] = 0 // leave the shared counter clean for the next call
+	}
+
+	// Merge: scan writers in ascending proc order, apply the first ready
+	// head, restart.  W is at most nprocs, so the rescan is cheap.
+	for remaining := k; remaining > 0; {
+		progress := false
+		for _, q := range writers {
+			qi := int(q)
+			if p.wrPos[qi] == p.wrEnd[qi] {
+				continue
+			}
+			h := int(idxs[p.wrPos[qi]])
+			vc := p.recs[qi][h].VC
+			ready := true
+			for _, r := range writers {
+				ri := int(r)
+				if ri == qi || p.wrPos[ri] == p.wrEnd[ri] {
+					continue
+				}
+				if vc[ri] > idxs[p.wrPos[ri]] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			p.applyOne(pg, data, qi, h, cfg)
+			p.wrPos[qi]++
+			remaining--
+			progress = true
+			break
+		}
+		if !progress {
+			panic("tmk: cycle in happens-before order")
+		}
+	}
 	pg.wn = pg.wn[:0]
+}
+
+// applyOne applies the stored diff of (writer proc, interval idx) to data,
+// charging modeled time and behavioral counters.
+func (p *Proc) applyOne(pg *page, data []byte, proc, idx int, cfg Config) {
+	d := p.diffOf(pg, proc, idx)
+	if d == nil {
+		panic(fmt.Sprintf("tmk: proc %d applying diff (proc %d, idx %d) it does not hold",
+			p.id, proc, idx))
+	}
+	d.Apply(data)
+	p.DiffsApplied++
+	p.DiffBytes += int64(d.Size())
+	p.app.Compute(sim.Time(d.Size()) * cfg.DiffApplyPerByte)
 }
 
 func (pg *page) getData(pageSize int) []byte {

@@ -9,10 +9,10 @@ import (
 // This file implements the access layer of the DSM: every read or write of
 // shared memory goes through a software access check that stands in for
 // the virtual-memory protection hardware of the original system.  An
-// access to an invalidated page triggers the fault handler (diff fetch);
-// the first write to a page in an interval creates a twin.  Valid-page
-// accesses charge no virtual time: the real system's post-fault accesses
-// are ordinary loads and stores.
+// access to an invalidated page triggers the fault handler (the indexed
+// diff fetch/apply path in tmk.go); the first write to a page in an
+// interval creates a twin.  Valid-page accesses charge no virtual time:
+// the real system's post-fault accesses are ordinary loads and stores.
 
 func putU32(b []byte, v uint32)  { binary.LittleEndian.PutUint32(b, v) }
 func putU64(b []byte, v uint64)  { binary.LittleEndian.PutUint64(b, v) }

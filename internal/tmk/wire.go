@@ -87,6 +87,7 @@ func (r *rbuf) view(n int) []byte {
 	r.pos += n
 	return v
 }
+
 func (r *rbuf) vc() VC {
 	n := r.u16()
 	v := make(VC, n)
@@ -99,6 +100,30 @@ func (r *rbuf) done() {
 	if r.pos != len(r.b) {
 		panic(fmt.Sprintf("tmk: %d trailing wire bytes", len(r.b)-r.pos))
 	}
+}
+
+// ---------------------------------------------------------------------
+// Wire sizes.  Every message type knows the exact length its encoding
+// would have.  The protocol ships structured messages over
+// vnet.Endpoint.SendObj with these modeled sizes, so the encoders in this
+// file are the documented wire format — exercised by the round-trip tests
+// and pinned against the size functions by TestWireSizeMatchesEncoding —
+// while the hot path never serializes a byte.
+
+func vcSize(v VC) int { return 2 + 4*len(v) }
+
+func (m *acqMsg) wireSize() int   { return 2 + 2 + vcSize(m.VC) }
+func (m *grantMsg) wireSize() int { return 2 + recordsSize(m.Records) }
+func (m *barrMsg) wireSize() int {
+	return 2 + 2 + vcSize(m.VC) + recordsSize(m.Records)
+}
+func (m *diffReqMsg) wireSize() int { return 4 + 2 + 2 + 6*len(m.Wants) }
+func (m *diffRespMsg) wireSize() int {
+	n := 4 + 2
+	for _, e := range m.Entries {
+		n += 8 + e.Diff.Size()
+	}
+	return n
 }
 
 // IntervalRec is a write-notice record: one interval of one processor,
@@ -190,7 +215,7 @@ type acqMsg struct {
 }
 
 func (m *acqMsg) encode() []byte {
-	w := newWbuf(2 + 2 + 2 + 4*len(m.VC))
+	w := newWbuf(m.wireSize())
 	w.u16(m.Lock)
 	w.u16(m.Requester)
 	w.vc(m.VC)
@@ -212,7 +237,7 @@ type grantMsg struct {
 }
 
 func (m *grantMsg) encode() []byte {
-	w := newWbuf(2 + recordsSize(m.Records))
+	w := newWbuf(m.wireSize())
 	w.u16(m.Lock)
 	encodeRecords(&w, m.Records)
 	return w.b
@@ -236,7 +261,7 @@ type barrMsg struct {
 }
 
 func (m *barrMsg) encode() []byte {
-	w := newWbuf(2 + 2 + 2 + 4*len(m.VC) + recordsSize(m.Records))
+	w := newWbuf(m.wireSize())
 	w.u16(m.Barrier)
 	w.u16(m.From)
 	w.vc(m.VC)
@@ -266,7 +291,7 @@ type diffReqMsg struct {
 }
 
 func (m *diffReqMsg) encode() []byte {
-	w := newWbuf(4 + 2 + 2 + 6*len(m.Wants))
+	w := newWbuf(m.wireSize())
 	w.u32(m.Page)
 	w.u16(m.Requester)
 	w.u16(len(m.Wants))
@@ -303,11 +328,7 @@ type diffRespMsg struct {
 }
 
 func (m *diffRespMsg) encode() []byte {
-	n := 4 + 2
-	for _, e := range m.Entries {
-		n += 8 + e.Diff.Size()
-	}
-	w := newWbuf(n)
+	w := newWbuf(m.wireSize())
 	w.u32(m.Page)
 	w.u16(len(m.Entries))
 	for _, e := range m.Entries {

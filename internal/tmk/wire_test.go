@@ -77,6 +77,42 @@ func TestDiffRespMsgRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWireSizeMatchesEncoding pins the contract behind the protocol's
+// zero-serialization fast path: the modeled size a message declares to
+// vnet.SendObj must equal the length of its byte encoding, for every
+// message type, or wire accounting would drift from the documented format.
+func TestWireSizeMatchesEncoding(t *testing.T) {
+	recs := []*IntervalRec{
+		{Proc: 0, Idx: 3, VC: VC{4, 1, 0}, Pages: []int{7, 8, 9, 30}},
+		{Proc: 2, Idx: 0, VC: VC{0, 1, 1}, Pages: nil},
+		{Proc: 1, Idx: 7, VC: VC{9, 8, 7}, Pages: []int{0, 2, 4, 6, 8}},
+	}
+	d1 := &Diff{Page: 3, Runs: []Run{{Off: 16, Data: make([]byte, 40)}, {Off: 100, Data: []byte{9}}}}
+	d2 := &Diff{Page: 3}
+	cases := []struct {
+		name string
+		size int
+		enc  []byte
+	}{
+		{"acq", (&acqMsg{Lock: 7, Requester: 3, VC: VC{1, 0, 4}}).wireSize(),
+			(&acqMsg{Lock: 7, Requester: 3, VC: VC{1, 0, 4}}).encode()},
+		{"grant-empty", (&grantMsg{Lock: 2}).wireSize(), (&grantMsg{Lock: 2}).encode()},
+		{"grant", (&grantMsg{Lock: 2, Records: recs}).wireSize(),
+			(&grantMsg{Lock: 2, Records: recs}).encode()},
+		{"barr", (&barrMsg{Barrier: 5, From: 2, VC: VC{9, 8, 7}, Records: recs}).wireSize(),
+			(&barrMsg{Barrier: 5, From: 2, VC: VC{9, 8, 7}, Records: recs}).encode()},
+		{"diffreq", (&diffReqMsg{Page: 42, Requester: 6, Wants: []diffWant{{1, 9}, {3, 0}}}).wireSize(),
+			(&diffReqMsg{Page: 42, Requester: 6, Wants: []diffWant{{1, 9}, {3, 0}}}).encode()},
+		{"diffresp", (&diffRespMsg{Page: 3, Entries: []diffEntry{{Proc: 1, Idx: 2, Diff: d1}, {Proc: 0, Idx: 0, Diff: d2}}}).wireSize(),
+			(&diffRespMsg{Page: 3, Entries: []diffEntry{{Proc: 1, Idx: 2, Diff: d1}, {Proc: 0, Idx: 0, Diff: d2}}}).encode()},
+	}
+	for _, c := range cases {
+		if c.size != len(c.enc) {
+			t.Errorf("%s: wireSize %d != encoded length %d", c.name, c.size, len(c.enc))
+		}
+	}
+}
+
 func TestWireSizeTracksPayload(t *testing.T) {
 	small := (&grantMsg{Lock: 1}).encode()
 	big := (&grantMsg{Lock: 1, Records: []*IntervalRec{

@@ -49,3 +49,76 @@ func BenchmarkEngine(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkInboxDepth measures receive cost against a deep inbox: depth
+// background messages stay queued at the endpoint while the hot pair
+// sends and consumes b.N times.  "exact" filters by (from, tag) — the
+// fault-path pattern — and must be O(1) in depth; "wildcard" consumes
+// from a single backlogged stream with (-1, -1) — the service-daemon
+// pattern — and must scan bucket heads, not queued messages.
+func BenchmarkInboxDepth(b *testing.B) {
+	for _, depth := range []int{0, 64, 1024} {
+		b.Run(fmt.Sprintf("exact/depth=%d", depth), func(b *testing.B) {
+			n := New(FDDI())
+			e := sim.NewEngine()
+			dst := n.NewEndpoint(0, true)
+			hot := n.NewEndpoint(1, true)
+			fill := make([]*Endpoint, depth)
+			for i := range fill {
+				fill[i] = n.NewEndpoint(2+i, true)
+			}
+			payload := make([]byte, 32)
+			k := b.N
+			miss := false
+			e.Spawn("bench", false, func(c *sim.Ctx) {
+				for _, f := range fill {
+					f.Send(c, dst, 9, payload)
+				}
+				for i := 0; i < k; i++ {
+					hot.Send(c, dst, 1, payload)
+					c.Compute(sim.Second)
+					if dst.TryRecv(c, 1, 1) == nil {
+						miss = true
+						return
+					}
+				}
+			})
+			b.ResetTimer()
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+			if miss {
+				b.Fatal("TryRecv missed")
+			}
+		})
+		b.Run(fmt.Sprintf("wildcard/depth=%d", depth), func(b *testing.B) {
+			n := New(FDDI())
+			e := sim.NewEngine()
+			dst := n.NewEndpoint(0, true)
+			hot := n.NewEndpoint(1, true)
+			payload := make([]byte, 32)
+			k := b.N
+			miss := false
+			e.Spawn("bench", false, func(c *sim.Ctx) {
+				for i := 0; i < depth; i++ {
+					hot.Send(c, dst, 9, payload) // one deep backlogged stream
+				}
+				for i := 0; i < k; i++ {
+					hot.Send(c, dst, 1, payload)
+					c.Compute(sim.Second)
+					if dst.TryRecv(c, -1, 1) == nil {
+						miss = true
+						return
+					}
+				}
+			})
+			b.ResetTimer()
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+			if miss {
+				b.Fatal("TryRecv missed")
+			}
+		})
+	}
+}

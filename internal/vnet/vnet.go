@@ -15,6 +15,27 @@
 // uses for TreadMarks ("total number of UDP messages and total amount of
 // data").  Stream (TCP) endpoints count one message per user send with no
 // header bytes, matching the paper's user-level accounting for PVM.
+//
+// # Inbox layout
+//
+// Each endpoint's inbox is indexed by (from, tag): queued messages live in
+// per-pair buckets kept in (Arrival, seq) order, so an exact-filter receive
+// peeks one bucket head and a wildcard receive scans only the bucket heads
+// — never the full inbox.  Consuming a message pops a bucket head in O(1)
+// instead of splicing a flat queue.  Selection semantics are unchanged:
+// among matching messages, the one with the earliest arrival wins, ties
+// broken by global send order (seq).
+//
+// # Structured messages
+//
+// Send ships bytes; SendObj ships a structured object with a
+// caller-declared modeled wire size.  Timing, fragmentation and
+// accounting are computed from that size exactly as they would be for an
+// equal-length payload, but nothing is serialized — the receiver shares
+// the object with the sender and must treat it as immutable.  Protocols
+// whose message volume dominates host time (TreadMarks diff traffic) use
+// this path; their byte encodings remain the documented wire format,
+// test-pinned to produce exactly the declared sizes.
 package vnet
 
 import (
@@ -67,13 +88,19 @@ func (c Config) transmit(n int) sim.Time {
 	return sim.Time(int64(n) * int64(sim.Second) / c.BytesPerSec)
 }
 
-// Message is a delivered payload plus metadata.
+// Message is a delivered payload plus metadata.  A message carries either
+// serialized bytes (Payload) or a structured object (Obj) sent through
+// SendObj; in the latter case the wire size is modeled from the size the
+// sender declared.  Receivers of an Obj share it with the sender and must
+// treat it as immutable.
 type Message struct {
 	From    int
 	To      int
 	Tag     int
 	Payload []byte
+	Obj     any
 	Arrival sim.Time
+	size    int // modeled payload bytes (== len(Payload) when byte-carried)
 	seq     uint64
 	local   bool // loopback delivery: cheap receive, no wire accounting
 }
@@ -111,22 +138,76 @@ func (n *Network) Config() Config { return n.cfg }
 // WireStats returns wire-level totals (all endpoints, fragments counted).
 func (n *Network) WireStats() Stats { return n.stats }
 
+// bucket queues the messages of one (from, tag) pair in (Arrival, seq)
+// order.  Senders to one pair emit almost always in arrival order (their
+// clocks only move forward), so insertion is an append with a rare
+// tail-walk; consumption pops the head.
+type bucket struct {
+	from, tag int
+	msgs      []*Message
+	head      int
+}
+
+func (b *bucket) empty() bool { return b.head == len(b.msgs) }
+
+func (b *bucket) peek() *Message { return b.msgs[b.head] }
+
+func (b *bucket) pop() *Message {
+	m := b.msgs[b.head]
+	b.msgs[b.head] = nil
+	b.head++
+	if b.head == len(b.msgs) {
+		b.msgs = b.msgs[:0]
+		b.head = 0
+	} else if b.head >= 32 && b.head*2 >= len(b.msgs) {
+		// Reclaim the consumed prefix once it dominates the backing array.
+		n := copy(b.msgs, b.msgs[b.head:])
+		for i := n; i < len(b.msgs); i++ {
+			b.msgs[i] = nil
+		}
+		b.msgs = b.msgs[:n]
+		b.head = 0
+	}
+	return m
+}
+
+func (b *bucket) put(m *Message) {
+	b.msgs = append(b.msgs, m)
+	// Restore (Arrival, seq) order if the new message arrives before the
+	// previous tail (possible when two sender endpoints share a node id but
+	// run at different clocks).  seq is globally increasing, so among equal
+	// arrivals the existing message stays first.
+	for i := len(b.msgs) - 1; i > b.head && b.msgs[i-1].Arrival > m.Arrival; i-- {
+		b.msgs[i] = b.msgs[i-1]
+		b.msgs[i-1] = m
+	}
+}
+
 // Endpoint is one node's attachment point.  An endpoint is single-owner:
 // exactly one sim proc consumes from it (others may send to it).
 type Endpoint struct {
 	net      *Network
 	node     int
-	inbox    []*Message
 	datagram bool // true: UDP accounting (fragments, headers)
 	stats    Stats
+
+	// Inbox index: one bucket per (from, tag) pair ever seen.  index is
+	// the exact-match lookup; order is the deterministic scan list for
+	// wildcard filters (creation order).  queued counts live messages.
+	index  map[[2]int]*bucket
+	order  []*bucket
+	queued int
 
 	// Scheduler integration: the owner blocks in Recv against wake, and
 	// every Send into this inbox notifies it, so only this endpoint's
 	// waiter is re-polled when a message arrives.  The condition closure
-	// is allocated once and parameterized through wFrom/wTag (safe: the
-	// endpoint has a single consumer).
+	// is allocated once and parameterized through wFrom/wTag; wArmed marks
+	// the filter live — it is set for the duration of a Recv and cleared
+	// when the message is consumed, so a stale filter from a finished Recv
+	// can never satisfy the wake predicate.
 	wake        sim.Source
 	wFrom, wTag int
+	wArmed      bool
 	wCond       sim.Cond
 	wWhat       func() string
 }
@@ -135,13 +216,16 @@ type Endpoint struct {
 // accounting (fragmentation, per-fragment headers); otherwise the endpoint
 // behaves like a direct TCP connection (one message per send).
 func (n *Network) NewEndpoint(node int, datagram bool) *Endpoint {
-	e := &Endpoint{net: n, node: node, datagram: datagram}
+	e := &Endpoint{net: n, node: node, datagram: datagram, index: map[[2]int]*bucket{}}
 	e.wCond = func() (sim.Time, bool) {
-		i := e.earliest(e.wFrom, e.wTag)
-		if i < 0 {
+		if !e.wArmed {
 			return 0, false
 		}
-		return e.inbox[i].Arrival, true
+		_, m := e.peek(e.wFrom, e.wTag)
+		if m == nil {
+			return 0, false
+		}
+		return m.Arrival, true
 	}
 	e.wWhat = func() string {
 		return fmt.Sprintf("recv(node=%d from=%d tag=%d)", e.node, e.wFrom, e.wTag)
@@ -159,6 +243,20 @@ func (e *Endpoint) Stats() Stats { return e.stats }
 // clock and scheduling arrival.  The payload is not copied; callers must
 // not mutate it after sending.  Returns the number of wire messages.
 func (e *Endpoint) Send(ctx *sim.Ctx, dst *Endpoint, tag int, payload []byte) int {
+	return e.xmit(ctx, dst, tag, payload, nil, len(payload))
+}
+
+// SendObj transmits a structured message of the given modeled wire size
+// without serializing it: timing, fragmentation and accounting are
+// computed exactly as for a size-byte payload, but the receiver gets obj
+// itself.  The caller owns the proof that size equals the length its wire
+// encoding would have, and both sides must treat obj (and everything
+// reachable from it) as immutable once sent.
+func (e *Endpoint) SendObj(ctx *sim.Ctx, dst *Endpoint, tag int, obj any, size int) int {
+	return e.xmit(ctx, dst, tag, nil, obj, size)
+}
+
+func (e *Endpoint) xmit(ctx *sim.Ctx, dst *Endpoint, tag int, payload []byte, obj any, size int) int {
 	if dst == nil {
 		panic("vnet: send to nil endpoint")
 	}
@@ -168,18 +266,17 @@ func (e *Endpoint) Send(ctx *sim.Ctx, dst *Endpoint, tag int, payload []byte) in
 		// its own node.  No wire traffic, no accounting.
 		ctx.Compute(cfg.LocalOverhead)
 		e.net.seq++
-		m := &Message{From: e.node, To: dst.node, Tag: tag, Payload: payload,
-			Arrival: ctx.Now() + cfg.LocalDelay, seq: e.net.seq, local: true}
-		dst.inbox = append(dst.inbox, m)
-		dst.wake.Notify()
+		m := &Message{From: e.node, To: dst.node, Tag: tag, Payload: payload, Obj: obj,
+			Arrival: ctx.Now() + cfg.LocalDelay, size: size, seq: e.net.seq, local: true}
+		dst.deliver(m)
 		return 1
 	}
 	frags := 1
-	if e.datagram && cfg.MTU > 0 && len(payload) > cfg.MTU {
-		frags = (len(payload) + cfg.MTU - 1) / cfg.MTU
+	if e.datagram && cfg.MTU > 0 && size > cfg.MTU {
+		frags = (size + cfg.MTU - 1) / cfg.MTU
 	}
 	// Charge the sender: per-fragment overhead plus serialization.
-	wireBytes := int64(len(payload))
+	wireBytes := int64(size)
 	if e.datagram {
 		wireBytes += int64(frags * cfg.HeaderBytes)
 	}
@@ -187,9 +284,9 @@ func (e *Endpoint) Send(ctx *sim.Ctx, dst *Endpoint, tag int, payload []byte) in
 	arrival := ctx.Now() + cfg.Latency
 
 	e.net.seq++
-	m := &Message{From: e.node, To: dst.node, Tag: tag, Payload: payload, Arrival: arrival, seq: e.net.seq}
-	dst.inbox = append(dst.inbox, m)
-	dst.wake.Notify()
+	m := &Message{From: e.node, To: dst.node, Tag: tag, Payload: payload, Obj: obj,
+		Arrival: arrival, size: size, seq: e.net.seq}
+	dst.deliver(m)
 
 	// Accounting.
 	if e.datagram {
@@ -199,32 +296,58 @@ func (e *Endpoint) Send(ctx *sim.Ctx, dst *Endpoint, tag int, payload []byte) in
 		e.net.stats.Bytes += wireBytes
 	} else {
 		e.stats.Messages++
-		e.stats.Bytes += int64(len(payload))
+		e.stats.Bytes += int64(size)
 		e.net.stats.Messages++
-		e.net.stats.Bytes += int64(len(payload))
+		e.net.stats.Bytes += int64(size)
 	}
 	return frags
 }
 
-// match reports whether m satisfies the (from, tag) filter; negative
-// values are wildcards.
-func match(m *Message, from, tag int) bool {
-	return (from < 0 || m.From == from) && (tag < 0 || m.Tag == tag)
+// deliver files m into its (from, tag) bucket and wakes the endpoint's
+// waiter, if any.
+func (e *Endpoint) deliver(m *Message) {
+	key := [2]int{m.From, m.Tag}
+	b := e.index[key]
+	if b == nil {
+		b = &bucket{from: m.From, tag: m.Tag}
+		e.index[key] = b
+		e.order = append(e.order, b)
+	}
+	b.put(m)
+	e.queued++
+	e.wake.Notify()
 }
 
-// earliest returns the index of the earliest matching message, or -1.
-func (e *Endpoint) earliest(from, tag int) int {
-	best := -1
-	for i, m := range e.inbox {
-		if !match(m, from, tag) {
+// peek returns the earliest message matching (from, tag) and the bucket
+// holding it, without consuming.  Negative from/tag are wildcards.  Exact
+// filters cost one map lookup; wildcard filters scan bucket heads only.
+func (e *Endpoint) peek(from, tag int) (*bucket, *Message) {
+	if from >= 0 && tag >= 0 {
+		b := e.index[[2]int{from, tag}]
+		if b == nil || b.empty() {
+			return nil, nil
+		}
+		return b, b.peek()
+	}
+	var bb *bucket
+	var best *Message
+	for _, b := range e.order {
+		if b.empty() || (from >= 0 && b.from != from) || (tag >= 0 && b.tag != tag) {
 			continue
 		}
-		if best < 0 || m.Arrival < e.inbox[best].Arrival ||
-			(m.Arrival == e.inbox[best].Arrival && m.seq < e.inbox[best].seq) {
-			best = i
+		m := b.peek()
+		if best == nil || m.Arrival < best.Arrival ||
+			(m.Arrival == best.Arrival && m.seq < best.seq) {
+			bb, best = b, m
 		}
 	}
-	return best
+	return bb, best
+}
+
+// take consumes the head of b.
+func (e *Endpoint) take(b *bucket) *Message {
+	e.queued--
+	return b.pop()
 }
 
 // Recv blocks until a message matching (from, tag) arrives, consumes it,
@@ -233,14 +356,16 @@ func (e *Endpoint) Recv(ctx *sim.Ctx, from, tag int) *Message {
 	if e.wake.HasWaiter() {
 		panic(fmt.Sprintf("vnet: concurrent Recv on endpoint %d (endpoints are single-consumer)", e.node))
 	}
-	e.wFrom, e.wTag = from, tag
+	e.wFrom, e.wTag, e.wArmed = from, tag, true
 	ctx.WaitOnLazy(&e.wake, e.wWhat, e.wCond)
-	i := e.earliest(from, tag)
-	if i < 0 {
+	// Consume: disarm the wake filter first so it is never evaluated
+	// against this Recv's (now dead) parameters.
+	e.wArmed = false
+	b, m := e.peek(from, tag)
+	if m == nil {
 		panic("vnet: woke with no matching message")
 	}
-	m := e.inbox[i]
-	e.inbox = append(e.inbox[:i], e.inbox[i+1:]...)
+	e.take(b)
 	e.chargeRecv(ctx, m)
 	return m
 }
@@ -249,12 +374,11 @@ func (e *Endpoint) Recv(ctx *sim.Ctx, from, tag int) *Message {
 // time not after the caller's clock) without blocking.  Returns nil if no
 // such message is present.
 func (e *Endpoint) TryRecv(ctx *sim.Ctx, from, tag int) *Message {
-	i := e.earliest(from, tag)
-	if i < 0 || e.inbox[i].Arrival > ctx.Now() {
+	b, m := e.peek(from, tag)
+	if m == nil || m.Arrival > ctx.Now() {
 		return nil
 	}
-	m := e.inbox[i]
-	e.inbox = append(e.inbox[:i], e.inbox[i+1:]...)
+	e.take(b)
 	e.chargeRecv(ctx, m)
 	return m
 }
@@ -262,12 +386,12 @@ func (e *Endpoint) TryRecv(ctx *sim.Ctx, from, tag int) *Message {
 // Probe reports whether a matching message has arrived by the caller's
 // clock, without consuming it.
 func (e *Endpoint) Probe(ctx *sim.Ctx, from, tag int) bool {
-	i := e.earliest(from, tag)
-	return i >= 0 && e.inbox[i].Arrival <= ctx.Now()
+	_, m := e.peek(from, tag)
+	return m != nil && m.Arrival <= ctx.Now()
 }
 
 // Pending reports the number of queued messages (any arrival time).
-func (e *Endpoint) Pending() int { return len(e.inbox) }
+func (e *Endpoint) Pending() int { return e.queued }
 
 func (e *Endpoint) chargeRecv(ctx *sim.Ctx, m *Message) {
 	cfg := e.net.cfg
@@ -276,8 +400,8 @@ func (e *Endpoint) chargeRecv(ctx *sim.Ctx, m *Message) {
 		return
 	}
 	frags := 1
-	if e.datagram && cfg.MTU > 0 && len(m.Payload) > cfg.MTU {
-		frags = (len(m.Payload) + cfg.MTU - 1) / cfg.MTU
+	if e.datagram && cfg.MTU > 0 && m.size > cfg.MTU {
+		frags = (m.size + cfg.MTU - 1) / cfg.MTU
 	}
-	ctx.Compute(sim.Time(frags)*cfg.RecvOverhead + sim.Time(len(m.Payload))*cfg.RecvPerByte)
+	ctx.Compute(sim.Time(frags)*cfg.RecvOverhead + sim.Time(m.size)*cfg.RecvPerByte)
 }

@@ -1,6 +1,7 @@
 package vnet
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/sim"
@@ -270,6 +271,109 @@ func TestFIFOPerPair(t *testing.T) {
 			if m.Payload[0] != byte(i) {
 				t.Fatalf("got %d, want %d", m.Payload[0], i)
 			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReusedEndpointFilterReset: a Recv's (from, tag) filter must die with
+// the Recv.  The regression scenario: an endpoint is reused for a sequence
+// of differently-filtered Recvs while senders keep delivering between
+// them; a stale filter from a finished Recv must never satisfy the wake
+// predicate or leak into a later receive.
+func TestReusedEndpointFilterReset(t *testing.T) {
+	n := New(testConfig())
+	e := sim.NewEngine()
+	a := n.NewEndpoint(0, false)
+	b := n.NewEndpoint(1, false)
+	dst := n.NewEndpoint(2, false)
+	e.Spawn("a", false, func(c *sim.Ctx) {
+		a.Send(c, dst, 1, []byte("a1"))
+		c.Compute(500 * sim.Microsecond)
+		// Delivered while dst sits between Recvs (no waiter armed); the
+		// notify must be a no-op, not an evaluation of the dead (0, 1)
+		// filter from dst's first Recv.
+		a.Send(c, dst, 2, []byte("a2"))
+		c.Compute(2000 * sim.Microsecond)
+		a.Send(c, dst, 1, []byte("a3"))
+	})
+	e.Spawn("b", false, func(c *sim.Ctx) {
+		c.Compute(100 * sim.Microsecond)
+		b.Send(c, dst, 2, []byte("b1"))
+	})
+	e.Spawn("dst", false, func(c *sim.Ctx) {
+		if m := dst.Recv(c, 0, 1); string(m.Payload) != "a1" {
+			t.Errorf("recv 1 = %q, want a1", m.Payload)
+		}
+		c.Compute(1500 * sim.Microsecond) // a2 and b1 arrive while idle
+		if m := dst.Recv(c, 1, -1); string(m.Payload) != "b1" {
+			t.Errorf("recv 2 = %q, want b1", m.Payload)
+		}
+		if m := dst.Recv(c, -1, 2); string(m.Payload) != "a2" {
+			t.Errorf("recv 3 = %q, want a2", m.Payload)
+		}
+		// Wildcard Recv must block for a3 (nothing else queued), not trip
+		// over leftover filter state.
+		if m := dst.Recv(c, -1, -1); string(m.Payload) != "a3" {
+			t.Errorf("recv 4 = %q, want a3", m.Payload)
+		}
+		if dst.Pending() != 0 {
+			t.Errorf("pending = %d, want 0", dst.Pending())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeepInboxSelection: with many messages queued from many senders
+// across several tags, filtered and wildcard receives must still pick the
+// earliest (Arrival, seq) match.
+func TestDeepInboxSelection(t *testing.T) {
+	n := New(testConfig())
+	e := sim.NewEngine()
+	const senders = 8
+	dst := n.NewEndpoint(senders, false)
+	for i := 0; i < senders; i++ {
+		id := i
+		ep := n.NewEndpoint(id, false)
+		e.Spawn(fmt.Sprintf("s%d", id), false, func(c *sim.Ctx) {
+			// Stagger so arrival order is the reverse of spawn order.
+			c.Compute(sim.Time(senders-id) * 10 * sim.Microsecond)
+			ep.Send(c, dst, id%3, []byte{byte(id)})
+			ep.Send(c, dst, 5, []byte{byte(100 + id)})
+		})
+	}
+	e.Spawn("dst", false, func(c *sim.Ctx) {
+		c.Compute(sim.Second)
+		c.Yield()
+		if dst.Pending() != 2*senders {
+			t.Fatalf("pending = %d, want %d", dst.Pending(), 2*senders)
+		}
+		// Earliest tag-5 message is from the latest-spawned sender.
+		if m := dst.Recv(c, -1, 5); m.Payload[0] != 100+senders-1 {
+			t.Errorf("tag-5 = %d, want %d", m.Payload[0], 100+senders-1)
+		}
+		// Exact filter digs out one pair regardless of queue depth.
+		if m := dst.Recv(c, 3, 0); m.Payload[0] != 3 {
+			t.Errorf("(3,0) = %d, want 3", m.Payload[0])
+		}
+		// Wildcard drains the rest in global (Arrival, seq) order.
+		last := struct {
+			at  sim.Time
+			seq uint64
+		}{}
+		for dst.Pending() > 0 {
+			m := dst.TryRecv(c, -1, -1)
+			if m == nil {
+				t.Fatal("TryRecv returned nil with messages pending")
+			}
+			if m.Arrival < last.at || (m.Arrival == last.at && m.seq < last.seq) {
+				t.Fatalf("out of order: %v/%d after %v/%d", m.Arrival, m.seq, last.at, last.seq)
+			}
+			last.at, last.seq = m.Arrival, m.seq
 		}
 	})
 	if err := e.Run(); err != nil {
