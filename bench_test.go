@@ -19,6 +19,7 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 )
 
@@ -27,22 +28,21 @@ const BenchScale = 0.1
 
 func benchFigure(b *testing.B, name string) {
 	b.Helper()
-	runners := harness.Experiments(BenchScale)
-	r := harness.Find(runners, name)
-	if r == nil {
+	app := harness.Find(harness.Apps(BenchScale), name)
+	if app == nil {
 		b.Fatalf("unknown experiment %q", name)
 	}
-	seq, err := r.Seq()
+	seq, err := core.Seq.Run(app, core.Base(1))
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tres, err := r.TMK(8)
+		tres, err := core.TMK.Run(app, core.Base(8))
 		if err != nil {
 			b.Fatal(err)
 		}
-		pres, err := r.PVM(8)
+		pres, err := core.PVM.Run(app, core.Base(8))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -59,9 +59,9 @@ func benchFigure(b *testing.B, name string) {
 
 // BenchmarkTable1 regenerates the sequential-time table.
 func BenchmarkTable1(b *testing.B) {
-	runners := harness.Experiments(BenchScale)
+	apps := harness.Apps(BenchScale)
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.Table1(runners); err != nil {
+		if _, err := harness.Table1(apps); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -69,9 +69,9 @@ func BenchmarkTable1(b *testing.B) {
 
 // BenchmarkTable2 regenerates the 8-processor traffic table.
 func BenchmarkTable2(b *testing.B) {
-	runners := harness.Experiments(BenchScale)
+	apps := harness.Apps(BenchScale)
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.Table2(runners); err != nil {
+		if _, err := harness.Table2(apps); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,65 +9,65 @@
 //
 // emits the Go table literal to paste over the `golden` map, so
 // regeneration after an intentional model change is mechanical.
+//
+// goldgen is a thin view over the harness grid: it runs
+// apps x {tmk,pvm} x base{2,4,8} and reformats the records.
 package main
 
 import (
 	"flag"
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 )
+
+var goldenProcs = []int{2, 4, 8}
 
 func main() {
 	scale := flag.Float64("scale", 0.1, "workload scale (1.0 = paper scale)")
 	format := flag.String("format", "text", `output format: "text" (diffable lines) or "go" (golden_test.go table literal)`)
 	flag.Parse()
 
-	type row struct {
-		name      string
-		sys       string
-		time      [3]int64
-		msgs      [3]int64
-		bytesOnWr [3]int64
+	apps := harness.Apps(*scale)
+	recs, err := harness.Grid{
+		Apps:      apps,
+		Backends:  []core.Backend{core.TMK, core.PVM},
+		Scenarios: harness.BaseScenarios(goldenProcs...),
+	}.Run()
+	if err != nil {
+		panic(err)
 	}
-	var rows []row
-	for _, r := range harness.Experiments(*scale) {
-		tr := row{name: r.Name, sys: "tmk"}
-		pr := row{name: r.Name, sys: "pvm"}
-		for i, n := range []int{2, 4, 8} {
-			tres, err := r.TMK(n)
-			if err != nil {
-				panic(err)
+	at := func(app, sys string, n int) harness.Record {
+		for _, r := range recs {
+			if r.App == app && r.Backend == sys && r.Procs == n {
+				return r
 			}
-			pres, err := r.PVM(n)
-			if err != nil {
-				panic(err)
-			}
-			tr.time[i], tr.msgs[i], tr.bytesOnWr[i] = int64(tres.Time), tres.Net.Messages, tres.Net.Bytes
-			pr.time[i], pr.msgs[i], pr.bytesOnWr[i] = int64(pres.Time), pres.Net.Messages, pres.Net.Bytes
 		}
-		rows = append(rows, tr, pr)
+		panic(fmt.Sprintf("goldgen: missing record %s/%s n=%d", app, sys, n))
 	}
 
 	switch *format {
 	case "text":
-		for i := 0; i < len(rows); i += 2 {
-			for j, n := range []int{2, 4, 8} {
-				for _, r := range []row{rows[i], rows[i+1]} {
+		for _, app := range apps {
+			for _, n := range goldenProcs {
+				for _, sys := range []string{"tmk", "pvm"} {
+					r := at(app.Name(), sys, n)
 					fmt.Printf("%s %s n=%d time=%d msgs=%d bytes=%d\n",
-						r.name, r.sys, n, r.time[j], r.msgs[j], r.bytesOnWr[j])
+						r.App, r.Backend, n, r.TimeNS, r.Messages, r.Bytes)
 				}
 			}
 		}
 	case "go":
 		fmt.Printf("var golden = map[string]map[string][3]metric{\n")
-		for i := 0; i < len(rows); i += 2 {
-			fmt.Printf("\t%q: {\n", rows[i].name)
-			for _, r := range []row{rows[i], rows[i+1]} {
-				fmt.Printf("\t\t%q: {\n", r.sys)
-				for j, n := range []int{2, 4, 8} {
+		for _, app := range apps {
+			fmt.Printf("\t%q: {\n", app.Name())
+			for _, sys := range []string{"tmk", "pvm"} {
+				fmt.Printf("\t\t%q: {\n", sys)
+				for _, n := range goldenProcs {
+					r := at(app.Name(), sys, n)
 					fmt.Printf("\t\t\t{time: %d, msgs: %d, bytes: %d}, // n=%d\n",
-						r.time[j], r.msgs[j], r.bytesOnWr[j], n)
+						r.TimeNS, r.Messages, r.Bytes, n)
 				}
 				fmt.Printf("\t\t},\n")
 			}

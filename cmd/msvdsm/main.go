@@ -1,6 +1,7 @@
 // Command msvdsm regenerates the tables and figures of "Message Passing
 // Versus Distributed Shared Memory on Networks of Workstations" (SC '95)
-// on the simulated workstation cluster.
+// on the simulated workstation cluster, and runs arbitrary experiment
+// grids (apps x backends x scenarios) beyond the paper's.
 //
 // Usage:
 //
@@ -8,50 +9,73 @@
 //	msvdsm table2                # Table 2: messages and data at 8 procs
 //	msvdsm fig <name>            # one speedup figure (e.g. fig sor-zero)
 //	msvdsm figures               # all twelve speedup figures
-//	msvdsm all                   # everything
-//	msvdsm list                  # experiment names
+//	msvdsm grid [grid flags]     # run a custom grid, emit records
+//	msvdsm ablate                # page-size / MTU ablations, microbenchmarks
+//	msvdsm all                   # tables and figures
+//	msvdsm list                  # experiment, backend and scenario names
 //
 // Flags:
 //
-//	-scale f   workload scale factor (default 1.0 = paper scale;
-//	           0.1 runs in seconds for a quick look)
-//	-procs n   maximum processor count for figures (default 8)
+//	-scale f        workload scale factor (default 1.0 = paper scale;
+//	                0.1 runs in seconds for a quick look)
+//	-procs n        maximum processor count for figures (default 8)
+//	-format f       output format: text, json or csv (default text).
+//	                json/csv emit the structured result records behind
+//	                the tables and figures.
+//
+// Grid flags (after the grid command):
+//
+//	-apps a,b,..      apps to run (default: all twelve)
+//	-backends a,b,..  backends (default tmk,pvm; see 'msvdsm list')
+//	-scenarios a,..   scenario sets: base, page, mtu, bw, colocated
+//	-nprocs 2,4,8     processor counts the scenario sets expand at
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper scale)")
 	procs := flag.Int("procs", 8, "maximum processor count for figures")
+	format := flag.String("format", "text", "output format: text, json or csv")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	runners := harness.Experiments(*scale)
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "msvdsm: unknown format %q (have text, json, csv)\n", *format)
+		os.Exit(2)
+	}
+	apps := harness.Apps(*scale)
 	cmd := strings.ToLower(flag.Arg(0))
 	var err error
 	switch cmd {
 	case "table1":
-		err = printTable1(runners)
+		err = runTable1(apps, *format)
 	case "table2":
-		err = printTable2(runners)
+		err = runTable2(apps, *format)
 	case "fig", "figure":
 		if flag.NArg() < 2 {
 			fmt.Fprintln(os.Stderr, "msvdsm fig <name>; see 'msvdsm list'")
 			os.Exit(2)
 		}
-		err = printFigure(runners, flag.Arg(1), *procs)
+		err = runFigures(apps, []string{flag.Arg(1)}, *procs, *format)
 	case "figures":
-		err = printAllFigures(runners, *procs)
+		err = runFigures(apps, nil, *procs, *format)
+	case "grid":
+		err = runGrid(apps, flag.Args()[1:], *format)
 	case "ablate":
 		var out string
 		out, err = harness.Ablations(*scale)
@@ -59,14 +83,30 @@ func main() {
 			fmt.Println(out)
 		}
 	case "all":
-		if err = printTable1(runners); err == nil {
-			if err = printTable2(runners); err == nil {
-				err = printAllFigures(runners, *procs)
+		if *format != "text" {
+			// One structured document, not three concatenated ones: the
+			// figures grid (seq + both systems at 1..procs) is a superset
+			// of the tables' records, so emit it once.
+			err = runFigures(apps, nil, *procs, *format)
+			break
+		}
+		if err = runTable1(apps, *format); err == nil {
+			if err = runTable2(apps, *format); err == nil {
+				err = runFigures(apps, nil, *procs, *format)
 			}
 		}
 	case "list":
-		for _, n := range harness.Names(runners) {
-			fmt.Println(n)
+		fmt.Println("experiments:")
+		for _, n := range harness.Names(apps) {
+			fmt.Println("  " + n)
+		}
+		fmt.Println("backends:")
+		for _, b := range harness.Backends() {
+			fmt.Println("  " + b.Name())
+		}
+		fmt.Println("scenario sets:")
+		for _, s := range harness.ScenarioSets() {
+			fmt.Println("  " + s)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
@@ -82,58 +122,160 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `msvdsm - PVM vs TreadMarks comparison (SC '95 reproduction)
 
-usage: msvdsm [-scale f] [-procs n] <command>
+usage: msvdsm [-scale f] [-procs n] [-format text|json|csv] <command>
 
 commands:
   table1        sequential times of the applications (Table 1)
   table2        messages and data at 8 processors (Table 2)
   fig <name>    one speedup figure (Figures 1-12)
   figures       all twelve speedup figures
+  grid          run a custom apps x backends x scenarios grid
+                (-apps, -backends, -scenarios, -nprocs; see package doc)
   ablate        page-size / MTU ablations and primitive microbenchmarks
   all           tables and figures
-  list          experiment names
+  list          experiment, backend and scenario-set names
 `)
 	flag.PrintDefaults()
 }
 
-func printTable1(runners []harness.Runner) error {
-	out, err := harness.Table1(runners)
+// emit prints records in the requested structured format, or renders them
+// with the given text renderer.
+func emit(recs []harness.Record, format string, text func([]harness.Record) string) error {
+	switch format {
+	case "json":
+		return harness.WriteJSON(os.Stdout, recs)
+	case "csv":
+		return harness.WriteCSV(os.Stdout, recs)
+	default:
+		fmt.Println(text(recs))
+		return nil
+	}
+}
+
+func runTable1(apps []core.App, format string) error {
+	recs, err := harness.Grid{Apps: apps, Backends: []core.Backend{core.Seq}}.Run()
 	if err != nil {
 		return err
 	}
-	fmt.Println(out)
-	return nil
+	return emit(recs, format, harness.RenderTable1)
 }
 
-func printTable2(runners []harness.Runner) error {
-	out, err := harness.Table2(runners)
+func runTable2(apps []core.App, format string) error {
+	recs, err := harness.Grid{
+		Apps:      apps,
+		Backends:  []core.Backend{core.TMK, core.PVM},
+		Scenarios: harness.BaseScenarios(8),
+	}.Run()
 	if err != nil {
 		return err
 	}
-	fmt.Println(out)
-	return nil
+	return emit(recs, format, harness.RenderTable2)
 }
 
-func printFigure(runners []harness.Runner, name string, procs int) error {
-	r := harness.Find(runners, name)
-	if r == nil {
-		return fmt.Errorf("unknown experiment %q (try 'msvdsm list')", name)
+func runFigures(apps []core.App, names []string, maxProcs int, format string) error {
+	selected := apps
+	if names != nil {
+		selected = nil
+		for _, name := range names {
+			app := harness.Find(apps, name)
+			if app == nil {
+				return fmt.Errorf("unknown experiment %q (try 'msvdsm list')", name)
+			}
+			selected = append(selected, app)
+		}
 	}
-	fig, err := harness.FigureData(r, procs)
+	var procs []int
+	for n := 1; n <= maxProcs; n++ {
+		procs = append(procs, n)
+	}
+	recs, err := harness.Grid{
+		Apps:      selected,
+		Backends:  core.StandardBackends(),
+		Scenarios: harness.BaseScenarios(procs...),
+	}.Run()
 	if err != nil {
 		return err
 	}
-	fmt.Println(fig.Render())
-	return nil
+	return emit(recs, format, func(rs []harness.Record) string {
+		var parts []string
+		for _, app := range selected {
+			fig, err := harness.RenderFigure(rs, app.Name())
+			if err != nil {
+				parts = append(parts, fmt.Sprintf("%s: %v", app.Name(), err))
+				continue
+			}
+			parts = append(parts, fig.Render())
+		}
+		return strings.Join(parts, "\n")
+	})
 }
 
-func printAllFigures(runners []harness.Runner, procs int) error {
-	for i := range runners {
-		fig, err := harness.FigureData(&runners[i], procs)
+// runGrid parses the grid command's own flags and runs the described
+// cross product.
+func runGrid(apps []core.App, args []string, format string) error {
+	fs := flag.NewFlagSet("grid", flag.ContinueOnError)
+	appsFlag := fs.String("apps", "", "comma-separated app names (default: all)")
+	backendsFlag := fs.String("backends", "tmk,pvm", "comma-separated backend names")
+	scenariosFlag := fs.String("scenarios", "base", "comma-separated scenario sets")
+	nprocsFlag := fs.String("nprocs", "8", "comma-separated processor counts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	selected := apps
+	if *appsFlag != "" {
+		selected = nil
+		for _, name := range strings.Split(*appsFlag, ",") {
+			app := harness.Find(apps, name)
+			if app == nil {
+				return fmt.Errorf("unknown experiment %q (try 'msvdsm list')", name)
+			}
+			selected = append(selected, app)
+		}
+	}
+
+	var backends []core.Backend
+	for _, name := range strings.Split(*backendsFlag, ",") {
+		b, err := harness.FindBackend(strings.TrimSpace(name))
 		if err != nil {
 			return err
 		}
-		fmt.Println(fig.Render())
+		backends = append(backends, b)
 	}
-	return nil
+
+	var procs []int
+	for _, s := range strings.Split(*nprocsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -nprocs entry %q", s)
+		}
+		procs = append(procs, n)
+	}
+
+	var scenarios []core.Scenario
+	for _, set := range strings.Split(*scenariosFlag, ",") {
+		scs, err := harness.ScenarioSet(strings.TrimSpace(set), procs)
+		if err != nil {
+			return err
+		}
+		scenarios = append(scenarios, scs...)
+	}
+
+	recs, err := harness.Grid{Apps: selected, Backends: backends, Scenarios: scenarios}.Run()
+	if err != nil {
+		return err
+	}
+	return emit(recs, format, renderGridTable)
+}
+
+// renderGridTable is the text view of raw grid records.
+func renderGridTable(recs []harness.Record) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-8s %-12s %6s %14s %10s %12s\n",
+		"app", "backend", "scenario", "procs", "time", "messages", "bytes")
+	for _, r := range recs {
+		fmt.Fprintf(&b, "%-12s %-8s %-12s %6d %14s %10d %12d\n",
+			r.App, r.Backend, r.Scenario, r.Procs, r.Time().String(), r.Messages, r.Bytes)
+	}
+	return strings.TrimRight(b.String(), "\n")
 }

@@ -1,18 +1,21 @@
 // Porting template: how to take your own kernel — here a blocked
-// matrix-vector iteration — and write it against both programming models,
-// the way the paper's authors ported their nine applications.  Use this
-// as the starting point for adding a tenth application.
+// matrix-vector iteration — and register it as a core.App, the way the
+// nine paper applications are registered under internal/apps.  One App
+// implementation gives you every backend (sequential, TreadMarks, PVM,
+// and derived variants) and every scenario (processor counts, page
+// sizes, link speeds) for free: the experiment surface is data.
 //
 // The recipe:
 //
-//  1. Write the plain sequential kernel charging model time via
-//     ctx.Compute (RunSeq).
-//  2. For TreadMarks: put the data other processors must see in shared
-//     memory (System.Malloc + Init*), express synchronization as locks
-//     and barriers, and let the DSM move the data (RunTMK).
-//  3. For PVM: keep everything private, and pack/send exactly what each
-//     process needs (RunPVM).
-//  4. Return a deterministic Output from each and check they agree.
+//  1. Put the per-run configuration in a struct and embed it in an app
+//     type that will also carry the outputs.
+//  2. Seq: the plain sequential kernel charging model time (ctx.Compute).
+//  3. SetupTMK/TMK: put the data other processors must see in shared
+//     memory (Malloc + Init*), express synchronization as locks and
+//     barriers, and let the DSM move the data.
+//  4. SetupPVM/PVM (+ Master for master/slave apps): keep everything
+//     private, and pack/send exactly what each process needs.
+//  5. Check: compare the parallel output against the sequential run.
 //
 // Run with:
 //
@@ -76,134 +79,176 @@ func checksum(v []float64) float64 {
 
 func span(id, n int) (int, int) { return id * size / n, (id + 1) * size / n }
 
+// matvec implements core.App: the tenth application.
+type matvec struct {
+	vecA tmk.Addr // shared vector of the current TreadMarks run
+
+	seqSum, parSum float64
+	hasSeq, hasPar bool
+}
+
+func (a *matvec) Name() string    { return "MatVec" }
+func (a *matvec) Figure() int     { return 0 } // not a paper figure
+func (a *matvec) Problem() string { return fmt.Sprintf("%dx%d f64, %d iters", size, size, iters) }
+
+func (a *matvec) Check() error {
+	if !a.hasSeq || !a.hasPar {
+		return fmt.Errorf("matvec: Check needs a sequential and a parallel run")
+	}
+	if a.seqSum != a.parSum {
+		return fmt.Errorf("matvec: checksum %v vs %v", a.parSum, a.seqSum)
+	}
+	return nil
+}
+
+// Step 2: the sequential kernel.
+func (a *matvec) Seq(ctx *sim.Ctx) {
+	x := initVec()
+	y := make([]float64, size)
+	for it := 0; it < iters; it++ {
+		for i := 0; i < size; i++ {
+			row := matRow(i)
+			acc := 0.0
+			for j := range row {
+				acc += row[j] * x[j]
+			}
+			y[i] = acc
+		}
+		ctx.Compute(sim.Time(size*size) * flopCost)
+		normalize(y)
+		x, y = y, x
+	}
+	a.seqSum = checksum(x)
+	a.hasSeq = true
+}
+
+// Step 3: the TreadMarks version: the vector is shared; each processor
+// computes a band of rows and barriers between iterations.
+func (a *matvec) SetupTMK(sys *tmk.System) {
+	a.parSum, a.hasPar = 0, false
+	a.vecA = sys.Malloc(8 * size)
+	sys.InitF64(a.vecA, initVec())
+}
+
+func (a *matvec) TMK(p *tmk.Proc) {
+	lo, hi := span(p.ID(), p.N())
+	vec := p.F64Array(a.vecA, size)
+	x := make([]float64, size)
+	y := make([]float64, hi-lo)
+	for it := 0; it < iters; it++ {
+		vec.Load(x, 0, size) // remote bands fault in
+		for i := lo; i < hi; i++ {
+			row := matRow(i)
+			acc := 0.0
+			for j := range row {
+				acc += row[j] * x[j]
+			}
+			y[i-lo] = acc
+		}
+		p.Compute(sim.Time((hi-lo)*size) * flopCost)
+		// Everyone needs the global maximum before normalizing, so
+		// publish raw results first.
+		vec.Store(y, lo)
+		p.Barrier(2 * it)
+		vec.Load(x, 0, size)
+		normalize(x)
+		vec.Store(x[lo:hi], lo)
+		p.Barrier(2*it + 1)
+	}
+	if p.ID() == 0 {
+		vec.Load(x, 0, size)
+		a.parSum = checksum(x)
+		a.hasPar = true
+	}
+}
+
+// Step 4: the PVM version: each process owns a band and broadcasts its
+// piece after every iteration.
+func (a *matvec) SetupPVM(sys *pvm.System) {
+	a.parSum, a.hasPar = 0, false
+}
+
+func (a *matvec) PVM(p *pvm.Proc) {
+	lo, hi := span(p.ID(), p.N())
+	x := initVec()
+	for it := 0; it < iters; it++ {
+		y := make([]float64, hi-lo)
+		for i := lo; i < hi; i++ {
+			row := matRow(i)
+			acc := 0.0
+			for j := range row {
+				acc += row[j] * x[j]
+			}
+			y[i-lo] = acc
+		}
+		p.Compute(sim.Time((hi-lo)*size) * flopCost)
+		if p.N() > 1 {
+			b := p.InitSend()
+			b.PackFloat64(y, len(y), 1)
+			p.Bcast(1)
+			copy(x[lo:hi], y)
+			for got := 0; got < p.N()-1; got++ {
+				r := p.Recv(-1, 1)
+				qlo, qhi := span(r.Src(), p.N())
+				r.UnpackFloat64(x[qlo:qhi], qhi-qlo, 1)
+			}
+		} else {
+			copy(x[lo:hi], y)
+		}
+		normalize(x)
+	}
+	if p.ID() == 0 {
+		a.parSum = checksum(x)
+		a.hasPar = true
+	}
+}
+
+func (a *matvec) Master() func(*pvm.Proc) { return nil } // no master process
+
 func main() {
-	seqSum, seqTime := runSeq()
-	fmt.Printf("sequential: checksum %.6f, modeled %v\n", seqSum, seqTime)
+	app := &matvec{}
+
+	// Step 5 in action: the sequential baseline, then both systems at
+	// several processor counts, checking outputs after every run.  The
+	// scenario list is data — swapping in a page-size sweep or a slower
+	// link is an edit here, not in the app.
+	if _, err := core.Seq.Run(app, core.Base(1)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential: checksum %.6f\n", app.seqSum)
 
 	for _, n := range []int{2, 4, 8} {
-		tSum, tRes := runTMK(n)
-		pSum, pRes := runPVM(n)
-		if tSum != seqSum || pSum != seqSum {
-			log.Fatalf("n=%d: checksums diverge: seq %v tmk %v pvm %v", n, seqSum, tSum, pSum)
+		sc := core.Base(n)
+		tres, err := core.TMK.Run(app, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := app.Check(); err != nil {
+			log.Fatal(err)
+		}
+		pres, err := core.PVM.Run(app, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := app.Check(); err != nil {
+			log.Fatal(err)
 		}
 		fmt.Printf("n=%d: tmk %v (%d msgs)  pvm %v (%d msgs)\n",
-			n, tRes.Time, tRes.Net.Messages, pRes.Time, pRes.Net.Messages)
+			n, tres.Time, tres.Net.Messages, pres.Time, pres.Net.Messages)
 	}
+
+	// A scenario ablation, still with zero app changes: TreadMarks on
+	// 1 KB pages.
+	small := core.Base(8)
+	small.Name = "page=1024"
+	small.DSM.PageSize = 1024
+	res, err := core.TMK.Run(app, small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := app.Check(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tmk on 1KB pages: %v (%d msgs)\n", res.Time, res.Net.Messages)
 	fmt.Println("all versions agree")
-}
-
-// Step 1: the sequential kernel.
-func runSeq() (float64, sim.Time) {
-	var sum float64
-	res, err := core.RunSeq(func(ctx *sim.Ctx) {
-		x := initVec()
-		y := make([]float64, size)
-		for it := 0; it < iters; it++ {
-			for i := 0; i < size; i++ {
-				row := matRow(i)
-				acc := 0.0
-				for j := range row {
-					acc += row[j] * x[j]
-				}
-				y[i] = acc
-			}
-			ctx.Compute(sim.Time(size*size) * flopCost)
-			normalize(y)
-			x, y = y, x
-		}
-		sum = checksum(x)
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	return sum, res.Time
-}
-
-// Step 2: the TreadMarks version: the vector is shared; each processor
-// computes a band of rows and barriers between iterations.
-func runTMK(n int) (float64, core.Result) {
-	var vecA tmk.Addr
-	var sum float64
-	res, err := core.RunTMK(core.Default(n),
-		func(sys *tmk.System) {
-			vecA = sys.Malloc(8 * size)
-			sys.InitF64(vecA, initVec())
-		},
-		func(p *tmk.Proc) {
-			lo, hi := span(p.ID(), p.N())
-			vec := p.F64Array(vecA, size)
-			x := make([]float64, size)
-			y := make([]float64, hi-lo)
-			for it := 0; it < iters; it++ {
-				vec.Load(x, 0, size) // remote bands fault in
-				for i := lo; i < hi; i++ {
-					row := matRow(i)
-					acc := 0.0
-					for j := range row {
-						acc += row[j] * x[j]
-					}
-					y[i-lo] = acc
-				}
-				p.Compute(sim.Time((hi-lo)*size) * flopCost)
-				// Everyone needs the global maximum before normalizing, so
-				// publish raw results first.
-				vec.Store(y, lo)
-				p.Barrier(2 * it)
-				vec.Load(x, 0, size)
-				normalize(x)
-				vec.Store(x[lo:hi], lo)
-				p.Barrier(2*it + 1)
-			}
-			if p.ID() == 0 {
-				vec.Load(x, 0, size)
-				sum = checksum(x)
-			}
-		})
-	if err != nil {
-		log.Fatal(err)
-	}
-	return sum, res
-}
-
-// Step 3: the PVM version: each process owns a band and broadcasts its
-// piece after every iteration.
-func runPVM(n int) (float64, core.Result) {
-	var sum float64
-	res, err := core.RunPVM(core.Default(n), func(p *pvm.Proc) {
-		lo, hi := span(p.ID(), p.N())
-		x := initVec()
-		for it := 0; it < iters; it++ {
-			y := make([]float64, hi-lo)
-			for i := lo; i < hi; i++ {
-				row := matRow(i)
-				acc := 0.0
-				for j := range row {
-					acc += row[j] * x[j]
-				}
-				y[i-lo] = acc
-			}
-			p.Compute(sim.Time((hi-lo)*size) * flopCost)
-			if p.N() > 1 {
-				b := p.InitSend()
-				b.PackFloat64(y, len(y), 1)
-				p.Bcast(1)
-				copy(x[lo:hi], y)
-				for got := 0; got < p.N()-1; got++ {
-					r := p.Recv(-1, 1)
-					qlo, qhi := span(r.Src(), p.N())
-					r.UnpackFloat64(x[qlo:qhi], qhi-qlo, 1)
-				}
-			} else {
-				copy(x[lo:hi], y)
-			}
-			normalize(x)
-		}
-		if p.ID() == 0 {
-			sum = checksum(x)
-		}
-	}, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return sum, res
 }

@@ -64,7 +64,7 @@ func runDSM() {
 // the programmer moves the data.
 func runMessagePassing() {
 	cfg := core.Default(nprocs)
-	res, err := core.RunPVM(cfg, func(p *pvm.Proc) {
+	res, err := core.RunPVM(cfg, nil, func(p *pvm.Proc) {
 		if p.ID() == 0 {
 			counter := int64(1) // proc 0's own increment
 			sum := 0.0

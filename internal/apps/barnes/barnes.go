@@ -317,29 +317,7 @@ func checksum(bodies []float64, idx []int) int64 {
 
 // RunSeq runs the sequential program.
 func RunSeq(cfg Config) (core.Result, Output, error) {
-	var out Output
-	res, err := core.RunSeq(func(ctx *sim.Ctx) {
-		bodies := cfg.initBodies()
-		for st := 0; st < cfg.Steps; st++ {
-			t := buildTree(bodies, cfg.Bodies)
-			ctx.Compute(sim.Time(t.built) * cfg.TreeCost)
-			leaves := t.leavesInOrder(t.root, nil)
-			accs := make([][3]float64, cfg.Bodies)
-			inter := 0
-			for _, b := range leaves {
-				inter += t.force(b, cfg.Theta, &accs[b])
-			}
-			ctx.Compute(sim.Time(inter) * cfg.InteractCost)
-			for _, b := range leaves {
-				integrate(bodies, b, accs[b])
-			}
-			ctx.Compute(sim.Time(len(leaves)) * cfg.UpdateCost)
-		}
-		all := make([]int, cfg.Bodies)
-		for i := range all {
-			all[i] = i
-		}
-		out.Sum = checksum(bodies, all)
-	})
-	return res, out, err
+	a := &app{cfg: cfg}
+	res, err := core.Seq.Run(a, core.Base(1))
+	return res, a.seqOut, err
 }

@@ -2,64 +2,15 @@ package barnes
 
 import (
 	"repro/internal/core"
-	"repro/internal/pvm"
-	"repro/internal/sim"
-	"repro/internal/tmk"
 )
-
-// sumSink collects per-processor checksums out of band (owner sets are
-// disjoint, so the sum equals the sequential checksum).
-var sumSink int64
 
 // RunTMK runs the TreadMarks version: the body array is shared, tree
 // cells are private; barriers follow the MakeTree, force, and update
 // phases.
 func RunTMK(cfg Config, ccfg core.Config) (core.Result, Output, error) {
-	var bodyA tmk.Addr
-	n3 := stride * cfg.Bodies
-	sumSink = 0
-	res, err := core.RunTMK(ccfg,
-		func(sys *tmk.System) {
-			bodyA = sys.MallocPageAligned(8 * n3)
-			sys.InitF64(bodyA, cfg.initBodies())
-		},
-		func(p *tmk.Proc) {
-			bv := p.F64Array(bodyA, n3)
-			local := make([]float64, n3)
-			var mine []int
-			for st := 0; st < cfg.Steps; st++ {
-				// MakeTree: read all shared bodies, build a private tree.
-				bv.Load(local, 0, n3)
-				t := buildTree(local, cfg.Bodies)
-				p.Compute(sim.Time(t.built) * cfg.TreeCost)
-				p.Barrier(3 * st)
-				// Costzones partition over the deterministic leaf order.
-				leaves := t.leavesInOrder(t.root, nil)
-				mine = append([]int(nil), costzone(leaves, p.N(), p.ID())...)
-				// Force computation: no synchronization needed.
-				accs := make(map[int][3]float64, len(mine))
-				inter := 0
-				for _, b := range mine {
-					var a [3]float64
-					inter += t.force(b, cfg.Theta, &a)
-					accs[b] = a
-				}
-				p.Compute(sim.Time(inter) * cfg.InteractCost)
-				// Barrier: everyone has finished reading positions.
-				p.Barrier(3*st + 1)
-				// Update: write my bodies (scattered in memory).
-				for _, b := range mine {
-					integrate(local, b, accs[b])
-					for k := 0; k < 6; k++ {
-						bv.Set(stride*b+k, local[stride*b+k])
-					}
-				}
-				p.Compute(sim.Time(len(mine)) * cfg.UpdateCost)
-				p.Barrier(3*st + 2)
-			}
-			sumSink += checksum(local, mine)
-		})
-	return res, Output{Sum: sumSink}, err
+	a := &app{cfg: cfg}
+	res, err := core.TMK.Run(a, core.Scenario{Name: "custom", Config: ccfg})
+	return res, a.parOut, err
 }
 
 // PVM message tag.
@@ -68,54 +19,7 @@ const tagBodies = 1
 // RunPVM runs the PVM version: every processor broadcasts its updated
 // bodies at the end of each step so each can rebuild the complete tree.
 func RunPVM(cfg Config, ccfg core.Config) (core.Result, Output, error) {
-	sumSink = 0
-	res, err := core.RunPVM(ccfg, func(p *pvm.Proc) {
-		bodies := cfg.initBodies()
-		var mine []int
-		for st := 0; st < cfg.Steps; st++ {
-			t := buildTree(bodies, cfg.Bodies)
-			p.Compute(sim.Time(t.built) * cfg.TreeCost)
-			leaves := t.leavesInOrder(t.root, nil)
-			mine = append([]int(nil), costzone(leaves, p.N(), p.ID())...)
-			accs := make(map[int][3]float64, len(mine))
-			inter := 0
-			for _, b := range mine {
-				var a [3]float64
-				inter += t.force(b, cfg.Theta, &a)
-				accs[b] = a
-			}
-			p.Compute(sim.Time(inter) * cfg.InteractCost)
-			for _, b := range mine {
-				integrate(bodies, b, accs[b])
-			}
-			p.Compute(sim.Time(len(mine)) * cfg.UpdateCost)
-			// Broadcast my updated bodies; receive everyone else's.
-			if p.N() > 1 {
-				b := p.InitSend()
-				idx := make([]int32, len(mine))
-				vals := make([]float64, 6*len(mine))
-				for j, bi := range mine {
-					idx[j] = int32(bi)
-					copy(vals[6*j:], bodies[stride*bi:stride*bi+6])
-				}
-				b.PackOneInt32(int32(len(mine)))
-				b.PackInt32(idx, len(idx), 1)
-				b.PackFloat64(vals, len(vals), 1)
-				p.Bcast(tagBodies)
-				for got := 0; got < p.N()-1; got++ {
-					r := p.Recv(-1, tagBodies)
-					cnt := int(r.UnpackOneInt32())
-					ridx := make([]int32, cnt)
-					rvals := make([]float64, 6*cnt)
-					r.UnpackInt32(ridx, cnt, 1)
-					r.UnpackFloat64(rvals, 6*cnt, 1)
-					for j, bi := range ridx {
-						copy(bodies[stride*int(bi):stride*int(bi)+6], rvals[6*j:6*j+6])
-					}
-				}
-			}
-		}
-		sumSink += checksum(bodies, mine)
-	}, nil)
-	return res, Output{Sum: sumSink}, err
+	a := &app{cfg: cfg}
+	res, err := core.PVM.Run(a, core.Scenario{Name: "custom", Config: ccfg})
+	return res, a.parOut, err
 }

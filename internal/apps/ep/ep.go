@@ -14,9 +14,7 @@ import (
 	"math"
 
 	"repro/internal/core"
-	"repro/internal/pvm"
 	"repro/internal/sim"
-	"repro/internal/tmk"
 )
 
 // Config describes one EP problem.
@@ -120,11 +118,9 @@ func span(total, nprocs, id int) (int, int) {
 
 // RunSeq runs the sequential program (no communication library).
 func RunSeq(cfg Config) (core.Result, Output, error) {
-	var out Output
-	res, err := core.RunSeq(func(ctx *sim.Ctx) {
-		out = chunk(ctx, cfg, 0, cfg.Pairs)
-	})
-	return res, out, err
+	a := newApp(cfg)
+	res, err := core.Seq.Run(a, core.Base(1))
+	return res, a.seqOut, err
 }
 
 // Shared layout for the TreadMarks version.
@@ -134,41 +130,9 @@ const (
 
 // RunTMK runs the TreadMarks version on ccfg.Procs processors.
 func RunTMK(cfg Config, ccfg core.Config) (core.Result, Output, error) {
-	var out Output
-	res, err := core.RunTMK(ccfg,
-		func(sys *tmk.System) {
-			sys.Malloc(10 * 8) // shared annuli tally
-			sys.Malloc(2 * 8)  // shared sums
-			sys.Malloc(8)      // shared accepted count
-		},
-		func(p *tmk.Proc) {
-			qAddr := tmk.Addr(0)
-			sumAddr := tmk.Addr(80)
-			accAddr := tmk.Addr(96)
-			lo, hi := span(cfg.Pairs, p.N(), p.ID())
-			local := chunk(p.Ctx(), cfg, lo, hi)
-			// Updates to the shared list are protected by a lock.
-			p.LockAcquire(lockTally)
-			q := p.I64Array(qAddr, 10)
-			for i := 0; i < 10; i++ {
-				q.Set(i, q.At(i)+local.Q[i])
-			}
-			p.WriteF64(sumAddr, p.ReadF64(sumAddr)+local.SumX)
-			p.WriteF64(sumAddr+8, p.ReadF64(sumAddr+8)+local.SumY)
-			p.WriteI64(accAddr, p.ReadI64(accAddr)+local.Accepted)
-			p.LockRelease(lockTally)
-			p.Barrier(0)
-			if p.ID() == 0 {
-				q := p.I64Array(qAddr, 10)
-				for i := 0; i < 10; i++ {
-					out.Q[i] = q.At(i)
-				}
-				out.SumX = p.ReadF64(sumAddr)
-				out.SumY = p.ReadF64(sumAddr + 8)
-				out.Accepted = p.ReadI64(accAddr)
-			}
-		})
-	return res, out, err
+	a := newApp(cfg)
+	res, err := core.TMK.Run(a, core.Scenario{Name: "custom", Config: ccfg})
+	return res, a.parOut, err
 }
 
 // Message tags for the PVM version.
@@ -176,35 +140,7 @@ const tagTally = 1
 
 // RunPVM runs the PVM version on ccfg.Procs processes.
 func RunPVM(cfg Config, ccfg core.Config) (core.Result, Output, error) {
-	var out Output
-	res, err := core.RunPVM(ccfg, func(p *pvm.Proc) {
-		lo, hi := span(cfg.Pairs, p.N(), p.ID())
-		local := chunk(p.Ctx(), cfg, lo, hi)
-		if p.ID() != 0 {
-			b := p.InitSend()
-			b.PackInt64(local.Q[:], 10, 1)
-			b.PackFloat64([]float64{local.SumX, local.SumY}, 2, 1)
-			b.PackOneInt64(local.Accepted)
-			p.Send(0, tagTally)
-			return
-		}
-		// Processor 0 receives the lists from each processor and sums.
-		total := local
-		for src := 1; src < p.N(); src++ {
-			r := p.Recv(src, tagTally)
-			var q [10]int64
-			r.UnpackInt64(q[:], 10, 1)
-			var sums [2]float64
-			r.UnpackFloat64(sums[:], 2, 1)
-			acc := r.UnpackOneInt64()
-			for i := 0; i < 10; i++ {
-				total.Q[i] += q[i]
-			}
-			total.SumX += sums[0]
-			total.SumY += sums[1]
-			total.Accepted += acc
-		}
-		out = total
-	}, nil)
-	return res, out, err
+	a := newApp(cfg)
+	res, err := core.PVM.Run(a, core.Scenario{Name: "custom", Config: ccfg})
+	return res, a.parOut, err
 }

@@ -196,26 +196,7 @@ func span(total, nprocs, id int) (int, int) {
 
 // RunSeq runs the sequential program.
 func RunSeq(cfg Config) (core.Result, Output, error) {
-	var out Output
-	res, err := core.RunSeq(func(ctx *sim.Ctx) {
-		n := cfg.N
-		prev := cfg.initData()
-		cur := make([]float64, len(prev))
-		for it := 0; it < cfg.Iters; it++ {
-			// Transpose by rotation: cur[x][y][z] = prev[z][x][y].
-			for x := 0; x < n; x++ {
-				for y := 0; y < n; y++ {
-					for z := 0; z < n; z++ {
-						si := 2 * ((z*n+x)*n + y)
-						di := 2 * ((x*n+y)*n + z)
-						cur[di], cur[di+1] = prev[si], prev[si+1]
-					}
-				}
-			}
-			ctx.Compute(passes(cfg, cur, 0, n, it))
-			prev, cur = cur, prev
-		}
-		out.Sum = chunkChecksum(prev, 0)
-	})
-	return res, out, err
+	a := &app{cfg: cfg}
+	res, err := core.Seq.Run(a, core.Base(1))
+	return res, a.seqOut, err
 }

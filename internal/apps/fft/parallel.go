@@ -2,12 +2,7 @@ package fft
 
 import (
 	"repro/internal/core"
-	"repro/internal/pvm"
-	"repro/internal/tmk"
 )
-
-// sumSink collects per-processor plane checksums out of band.
-var sumSink int64
 
 // RunTMK runs the TreadMarks version: both array buffers are shared.
 // Each iteration a processor reads the source planes it needs (remote
@@ -15,52 +10,9 @@ var sumSink int64
 // runs the local FFT passes in the same interval, and waits at the
 // barrier.
 func RunTMK(cfg Config, ccfg core.Config) (core.Result, Output, error) {
-	n := cfg.N
-	var aA, bA tmk.Addr
-	sumSink = 0
-	res, err := core.RunTMK(ccfg,
-		func(sys *tmk.System) {
-			aA = sys.MallocPageAligned(16 * cfg.points())
-			bA = sys.MallocPageAligned(16 * cfg.points())
-			sys.InitF64(aA, cfg.initData())
-		},
-		func(p *tmk.Proc) {
-			nprocs := p.N()
-			lo, hi := span(n, nprocs, p.ID())
-			av := p.F64Array(aA, 2*cfg.points())
-			bv := p.F64Array(bA, 2*cfg.points())
-			plane := 2 * n * n
-			local := make([]float64, (hi-lo)*plane)
-			row := make([]float64, 2*n)
-			for it := 0; it < cfg.Iters; it++ {
-				src, dst := av, bv
-				if it%2 == 1 {
-					src, dst = bv, av
-				}
-				// Transpose own destination planes: local[x][y][z] =
-				// src[z][x][y].  Row (z,x,*) is contiguous in src.
-				for x := lo; x < hi; x++ {
-					for z := 0; z < n; z++ {
-						src.Load(row, 2*((z*n+x)*n), 2*((z*n+x)*n)+2*n)
-						for y := 0; y < n; y++ {
-							di := (x-lo)*plane + 2*((y*n)+z)
-							local[di], local[di+1] = row[2*y], row[2*y+1]
-						}
-					}
-				}
-				p.Compute(passes(cfg, local, lo, hi, it))
-				dst.Store(local, lo*plane)
-				p.Barrier(it)
-			}
-			// Verification: checksum own planes of the final buffer.
-			fl := av
-			if cfg.Iters%2 == 1 {
-				fl = bv
-			}
-			fl.Load(local, lo*plane, hi*plane)
-			sumSink += chunkChecksum(local, lo*plane)
-		})
-	return res, Output{Sum: sumSink}, err
+	a := &app{cfg: cfg}
+	res, err := core.TMK.Run(a, core.Scenario{Name: "custom", Config: ccfg})
+	return res, a.parOut, err
 }
 
 // PVM message tag.
@@ -69,66 +21,7 @@ const tagBlock = 1
 // RunPVM runs the PVM version: the transpose is performed by explicitly
 // sending each processor the block of planes it will own.
 func RunPVM(cfg Config, ccfg core.Config) (core.Result, Output, error) {
-	n := cfg.N
-	sumSink = 0
-	res, err := core.RunPVM(ccfg, func(p *pvm.Proc) {
-		nprocs := p.N()
-		lo, hi := span(n, nprocs, p.ID())
-		plane := 2 * n * n
-		// Own planes of the previous layout (z is the old first dim).
-		prev := make([]float64, (hi-lo)*plane)
-		copy(prev, cfg.initData()[lo*plane:hi*plane])
-		cur := make([]float64, (hi-lo)*plane)
-		for it := 0; it < cfg.Iters; it++ {
-			// Send each destination owner the block src[z][x][y] for z in
-			// my planes, x in theirs, all y.
-			for q := 0; q < nprocs; q++ {
-				if q == p.ID() {
-					continue
-				}
-				qlo, qhi := span(n, nprocs, q)
-				blk := make([]float64, 0, 2*(hi-lo)*(qhi-qlo)*n)
-				for z := lo; z < hi; z++ {
-					for x := qlo; x < qhi; x++ {
-						base := (z-lo)*plane + 2*(x*n)
-						blk = append(blk, prev[base:base+2*n]...)
-					}
-				}
-				b := p.InitSend()
-				b.PackFloat64(blk, len(blk), 1)
-				p.Send(q, tagBlock)
-			}
-			// Scatter my own contribution: cur[x][y][z] = prev[z][x][y].
-			for z := lo; z < hi; z++ {
-				for x := lo; x < hi; x++ {
-					for y := 0; y < n; y++ {
-						si := (z-lo)*plane + 2*((x*n)+y)
-						di := (x-lo)*plane + 2*((y*n)+z)
-						cur[di], cur[di+1] = prev[si], prev[si+1]
-					}
-				}
-			}
-			// Receive and scatter the other blocks.
-			for recvd := 0; recvd < nprocs-1; recvd++ {
-				r := p.Recv(-1, tagBlock)
-				qlo, qhi := span(n, nprocs, r.Src())
-				blk := make([]float64, 2*(qhi-qlo)*(hi-lo)*n)
-				r.UnpackFloat64(blk, len(blk), 1)
-				bi := 0
-				for z := qlo; z < qhi; z++ {
-					for x := lo; x < hi; x++ {
-						for y := 0; y < n; y++ {
-							di := (x-lo)*plane + 2*((y*n)+z)
-							cur[di], cur[di+1] = blk[bi], blk[bi+1]
-							bi += 2
-						}
-					}
-				}
-			}
-			p.Compute(passes(cfg, cur, lo, hi, it))
-			prev, cur = cur, prev
-		}
-		sumSink += chunkChecksum(prev, lo*plane)
-	}, nil)
-	return res, Output{Sum: sumSink}, err
+	a := &app{cfg: cfg}
+	res, err := core.PVM.Run(a, core.Scenario{Name: "custom", Config: ccfg})
+	return res, a.parOut, err
 }

@@ -23,7 +23,6 @@ package ilink
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -136,34 +135,7 @@ func (o Output) Check(other Output) error {
 
 // RunSeq runs the sequential program.
 func RunSeq(cfg Config) (core.Result, Output, error) {
-	var out Output
-	res, err := core.RunSeq(func(ctx *sim.Ctx) {
-		bank := make([][]float64, cfg.FamSize)
-		for m := range bank {
-			bank[m] = make([]float64, cfg.G)
-		}
-		for fam := 0; fam < cfg.Families; fam++ {
-			// Reinitialize the bank for this family.
-			for m := 0; m < cfg.FamSize; m++ {
-				for g := 0; g < cfg.G; g++ {
-					bank[m][g] = cfg.initValue(fam, m, g)
-				}
-			}
-			ctx.Compute(sim.Time(cfg.FamSize*cfg.G) * cfg.InitCost)
-			// Update the parent conditioned on spouse and children.
-			nz := cfg.parentNonzeros(fam)
-			for _, g := range nz {
-				bank[0][g] = cfg.updateElem(fam, g, bank[0][g], bank)
-			}
-			ctx.Compute(sim.Time(len(nz)*(cfg.FamSize-1)) * cfg.ElemCost)
-			// Sum the contributions in index order.
-			sum := 0.0
-			for _, g := range nz {
-				sum += bank[0][g]
-			}
-			ctx.Compute(sim.Time(len(nz)) * cfg.SumCost)
-			out.LogLike += math.Log(sum)
-		}
-	})
-	return res, out, err
+	a := &app{cfg: cfg}
+	res, err := core.Seq.Run(a, core.Base(1))
+	return res, a.seqOut, err
 }

@@ -26,9 +26,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/pvm"
 	"repro/internal/sim"
-	"repro/internal/tmk"
 )
 
 // Config describes one Integer Sort problem.
@@ -141,81 +139,18 @@ func bucketChecksum(counts []int32) int64 {
 
 // RunSeq runs the sequential program.
 func RunSeq(cfg Config) (core.Result, Output, error) {
-	var out Output
-	res, err := core.RunSeq(func(ctx *sim.Ctx) {
-		for it := 0; it < cfg.Iters; it++ {
-			counts := cfg.countKeys(ctx, 0, cfg.Keys)
-			out.BucketSum = bucketChecksum(counts)
-			out.RankSum = cfg.rankChunk(ctx, counts, 0, cfg.Keys)
-		}
-	})
-	return res, out, err
+	a := newApp(cfg)
+	res, err := core.Seq.Run(a, core.Base(1))
+	return res, a.seqOut, err
 }
 
 const lockBuckets = 0
 
 // RunTMK runs the TreadMarks version.
 func RunTMK(cfg Config, ccfg core.Config) (core.Result, Output, error) {
-	var bktA, turnA tmk.Addr
-	var out Output
-	resetRanks()
-	res, err := core.RunTMK(ccfg,
-		func(sys *tmk.System) {
-			bktA = sys.MallocPageAligned(4 * cfg.Bmax)
-			turnA = sys.MallocPageAligned(8) // per-iteration arrival counter
-		},
-		func(p *tmk.Proc) {
-			lo, hi := span(cfg.Keys, p.N(), p.ID())
-			counts := make([]int32, cfg.Bmax)
-			for it := 0; it < cfg.Iters; it++ {
-				private := cfg.countKeys(p.Ctx(), lo, hi)
-				// Add private counts into the shared array under a lock.
-				p.LockAcquire(lockBuckets)
-				shared := p.I32Array(bktA, cfg.Bmax)
-				first := p.ReadI64(turnA)%int64(p.N()) == 0
-				p.WriteI64(turnA, p.ReadI64(turnA)+1)
-				if first {
-					// First writer of the iteration resets the array.
-					shared.Store(private, 0)
-				} else {
-					shared.Load(counts, 0, cfg.Bmax)
-					for v := range counts {
-						counts[v] += private[v]
-					}
-					shared.Store(counts, 0)
-				}
-				p.Compute(sim.Time(cfg.Bmax) * cfg.BktCost)
-				p.LockRelease(lockBuckets)
-				p.Barrier(2 * it)
-				// All processors read the final counts and rank.
-				shared.Load(counts, 0, cfg.Bmax)
-				rankSums[p.ID()] = cfg.rankChunk(p.Ctx(), counts, lo, hi)
-				if p.ID() == 0 {
-					out.BucketSum = bucketChecksum(counts)
-				}
-				p.Barrier(2*it + 1)
-			}
-		})
-	out.RankSum = sumRanks(ccfg.Procs)
-	return res, out, err
-}
-
-// rankSums collects per-processor rank checksums for verification outside
-// the measured run.  Runs are engine-serial, so plain slots suffice.
-var rankSums [64]int64
-
-func resetRanks() {
-	for i := range rankSums {
-		rankSums[i] = 0
-	}
-}
-
-func sumRanks(n int) int64 {
-	var total int64
-	for i := 0; i < n; i++ {
-		total += rankSums[i]
-	}
-	return total
+	a := newApp(cfg)
+	res, err := core.TMK.Run(a, core.Scenario{Name: "custom", Config: ccfg})
+	return res, a.assemble(), err
 }
 
 const (
@@ -225,50 +160,7 @@ const (
 
 // RunPVM runs the PVM version.
 func RunPVM(cfg Config, ccfg core.Config) (core.Result, Output, error) {
-	var out Output
-	resetRanks()
-	res, err := core.RunPVM(ccfg, func(p *pvm.Proc) {
-		lo, hi := span(cfg.Keys, p.N(), p.ID())
-		n := p.N()
-		final := make([]int32, cfg.Bmax)
-		for it := 0; it < cfg.Iters; it++ {
-			private := cfg.countKeys(p.Ctx(), lo, hi)
-			if n == 1 {
-				copy(final, private)
-			} else {
-				// Chain sum: 0 -> 1 -> ... -> n-1, then broadcast.
-				if p.ID() == 0 {
-					b := p.InitSend()
-					b.PackInt32(private, cfg.Bmax, 1)
-					p.Send(1, tagChain)
-					r := p.Recv(n-1, tagFinal)
-					r.UnpackInt32(final, cfg.Bmax, 1)
-				} else {
-					r := p.Recv(p.ID()-1, tagChain)
-					r.UnpackInt32(final, cfg.Bmax, 1)
-					for v := range final {
-						final[v] += private[v]
-					}
-					p.Compute(sim.Time(cfg.Bmax) * cfg.BktCost)
-					if p.ID() == n-1 {
-						b := p.InitSend()
-						b.PackInt32(final, cfg.Bmax, 1)
-						p.Bcast(tagFinal)
-					} else {
-						b := p.InitSend()
-						b.PackInt32(final, cfg.Bmax, 1)
-						p.Send(p.ID()+1, tagChain)
-						r := p.Recv(n-1, tagFinal)
-						r.UnpackInt32(final, cfg.Bmax, 1)
-					}
-				}
-			}
-			rankSums[p.ID()] = cfg.rankChunk(p.Ctx(), final, lo, hi)
-			if p.ID() == 0 {
-				out.BucketSum = bucketChecksum(final)
-			}
-		}
-	}, nil)
-	out.RankSum = sumRanks(ccfg.Procs)
-	return res, out, err
+	a := newApp(cfg)
+	res, err := core.PVM.Run(a, core.Scenario{Name: "custom", Config: ccfg})
+	return res, a.assemble(), err
 }

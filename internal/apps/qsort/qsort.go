@@ -16,9 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
-	"repro/internal/pvm"
 	"repro/internal/sim"
-	"repro/internal/tmk"
 )
 
 // Config describes one sorting problem.
@@ -146,27 +144,9 @@ func bubble(v []int32) int64 {
 
 // RunSeq runs the sequential program (explicit stack of subarrays).
 func RunSeq(cfg Config) (core.Result, Output, error) {
-	var out Output
-	res, err := core.RunSeq(func(ctx *sim.Ctx) {
-		v := cfg.input()
-		type rng struct{ lo, hi int }
-		stack := []rng{{0, cfg.N}}
-		for len(stack) > 0 {
-			r := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			sub := v[r.lo:r.hi]
-			if len(sub) <= cfg.Threshold {
-				ops := bubble(sub)
-				ctx.Compute(sim.Time(ops) * cfg.BubbleCost)
-				continue
-			}
-			m := partition(sub)
-			ctx.Compute(sim.Time(len(sub)) * cfg.PartCost)
-			stack = append(stack, rng{r.lo, r.lo + m}, rng{r.lo + m, r.hi})
-		}
-		out = checksum(v)
-	})
-	return res, out, err
+	a := newApp(cfg)
+	res, err := core.Seq.Run(a, core.Base(1))
+	return res, a.seqOut, err
 }
 
 // leafSink collects sorted leaves out of band for verification.
@@ -208,67 +188,9 @@ const (
 // RunTMK runs the TreadMarks version: list and work queue shared, queue
 // under a lock, termination via a shared done-count.
 func RunTMK(cfg Config, ccfg core.Config) (core.Result, Output, error) {
-	var listA, headA, queueA tmk.Addr
-	sink := newSink()
-	res, err := core.RunTMK(ccfg,
-		func(sys *tmk.System) {
-			listA = sys.MallocPageAligned(4 * cfg.N)
-			headA = sys.MallocPageAligned(8) // qcount, doneCount (int32 x2)
-			queueA = sys.MallocPageAligned(8 * maxQueue)
-			sys.InitI32(listA, cfg.input())
-			sys.InitI32(headA, []int32{1, 0})
-			sys.InitI64(queueA, []int64{int64(cfg.N)}) // (lo=0)<<32 | hi=N... lo in high half
-		},
-		func(p *tmk.Proc) {
-			list := p.I32Array(listA, cfg.N)
-			queue := p.I64Array(queueA, maxQueue)
-			buf := make([]int32, cfg.N)
-			for {
-				p.LockAcquire(lockQueue)
-				qc := p.ReadI32(headA)
-				done := p.ReadI32(headA + 4)
-				if qc == 0 {
-					p.LockRelease(lockQueue)
-					if int(done) == cfg.N {
-						break
-					}
-					p.Compute(500 * sim.Microsecond) // idle backoff, then re-poll
-					continue
-				}
-				ent := queue.At(int(qc) - 1)
-				p.WriteI32(headA, qc-1)
-				p.LockRelease(lockQueue)
-				lo := int(ent >> 32)
-				hi := int(ent & 0xFFFFFFFF)
-				sub := buf[:hi-lo]
-				list.Load(sub, lo, hi)
-				if hi-lo <= cfg.Threshold {
-					ops := bubble(sub)
-					p.Compute(sim.Time(ops) * cfg.BubbleCost)
-					list.Store(sub, lo)
-					sink.add(lo, sub)
-					p.LockAcquire(lockQueue)
-					p.WriteI32(headA+4, p.ReadI32(headA+4)+int32(hi-lo))
-					p.LockRelease(lockQueue)
-					continue
-				}
-				m := partition(sub)
-				p.Compute(sim.Time(hi-lo) * cfg.PartCost)
-				list.Store(sub, lo)
-				// Reacquire the queue to push the two new subarrays.
-				p.LockAcquire(lockQueue)
-				qc = p.ReadI32(headA)
-				if int(qc)+2 > maxQueue {
-					panic("qsort: work queue overflow")
-				}
-				queue.Set(int(qc), int64(lo)<<32|int64(lo+m))
-				queue.Set(int(qc)+1, int64(lo+m)<<32|int64(hi))
-				p.WriteI32(headA, qc+2)
-				p.LockRelease(lockQueue)
-			}
-			p.Barrier(0)
-		})
-	return res, sink.assemble(cfg.N), err
+	a := newApp(cfg)
+	res, err := core.TMK.Run(a, core.Scenario{Name: "custom", Config: ccfg})
+	return res, a.sink.assemble(cfg.N), err
 }
 
 // PVM message tags.
@@ -281,116 +203,7 @@ const (
 
 // RunPVM runs the master/slave PVM version.
 func RunPVM(cfg Config, ccfg core.Config) (core.Result, Output, error) {
-	sink := newSink()
-	n := ccfg.Procs
-	res, err := core.RunPVM(ccfg,
-		func(p *pvm.Proc) { // slave
-			master := n
-			for {
-				b := p.InitSend()
-				b.PackOneInt32(int32(p.ID()))
-				p.Send(master, tagWorkReq)
-				r := p.Recv(master, tagWork)
-				kind := r.UnpackOneInt32()
-				if kind == 0 {
-					return
-				}
-				lo := int(r.UnpackOneInt32())
-				ln := int(r.UnpackOneInt32())
-				sub := make([]int32, ln)
-				r.UnpackInt32(sub, ln, 1)
-				if ln <= cfg.Threshold {
-					ops := bubble(sub)
-					p.Compute(sim.Time(ops) * cfg.BubbleCost)
-					b := p.InitSend()
-					b.PackOneInt32(int32(lo))
-					b.PackOneInt32(int32(ln))
-					b.PackInt32(sub, ln, 1)
-					p.Send(master, tagLeaf)
-				} else {
-					m := partition(sub)
-					p.Compute(sim.Time(ln) * cfg.PartCost)
-					b := p.InitSend()
-					b.PackOneInt32(int32(lo))
-					b.PackOneInt32(int32(m))
-					b.PackOneInt32(int32(ln))
-					b.PackInt32(sub, ln, 1)
-					p.Send(master, tagSplit)
-				}
-			}
-		},
-		func(p *pvm.Proc) { // master: owns the list and the work queue
-			v := cfg.input()
-			type rng struct{ lo, hi int }
-			queue := []rng{{0, cfg.N}}
-			waiting := []int{}
-			outstanding := 0
-			doneCount := 0
-			doneSlaves := 0
-			sendWork := func(slave int) {
-				r := queue[len(queue)-1]
-				queue = queue[:len(queue)-1]
-				b := p.InitSend()
-				b.PackOneInt32(1)
-				b.PackOneInt32(int32(r.lo))
-				b.PackOneInt32(int32(r.hi - r.lo))
-				b.PackInt32(v[r.lo:r.hi], r.hi-r.lo, 1)
-				p.Send(slave, tagWork)
-				outstanding++
-			}
-			sendDone := func(slave int) {
-				b := p.InitSend()
-				b.PackOneInt32(0)
-				p.Send(slave, tagWork)
-				doneSlaves++
-			}
-			serveWaiting := func() {
-				for len(waiting) > 0 && len(queue) > 0 {
-					s := waiting[0]
-					waiting = waiting[1:]
-					sendWork(s)
-				}
-				if len(queue) == 0 && outstanding == 0 && doneCount == cfg.N {
-					for _, s := range waiting {
-						sendDone(s)
-					}
-					waiting = nil
-				}
-			}
-			for doneSlaves < n {
-				r := p.Recv(-1, -1)
-				switch r.Tag() {
-				case tagWorkReq:
-					slave := int(r.UnpackOneInt32())
-					if len(queue) > 0 {
-						sendWork(slave)
-					} else if outstanding == 0 && doneCount == cfg.N {
-						sendDone(slave)
-					} else {
-						waiting = append(waiting, slave)
-					}
-				case tagLeaf:
-					lo := int(r.UnpackOneInt32())
-					ln := int(r.UnpackOneInt32())
-					sub := make([]int32, ln)
-					r.UnpackInt32(sub, ln, 1)
-					copy(v[lo:lo+ln], sub)
-					sink.add(lo, sub)
-					doneCount += ln
-					outstanding--
-					serveWaiting()
-				case tagSplit:
-					lo := int(r.UnpackOneInt32())
-					m := int(r.UnpackOneInt32())
-					ln := int(r.UnpackOneInt32())
-					sub := make([]int32, ln)
-					r.UnpackInt32(sub, ln, 1)
-					copy(v[lo:lo+ln], sub)
-					queue = append(queue, rng{lo, lo + m}, rng{lo + m, lo + ln})
-					outstanding--
-					serveWaiting()
-				}
-			}
-		})
-	return res, sink.assemble(cfg.N), err
+	a := newApp(cfg)
+	res, err := core.PVM.Run(a, core.Scenario{Name: "custom", Config: ccfg})
+	return res, a.sink.assemble(cfg.N), err
 }

@@ -24,9 +24,7 @@ import (
 	"math"
 
 	"repro/internal/core"
-	"repro/internal/pvm"
 	"repro/internal/sim"
-	"repro/internal/tmk"
 )
 
 // Config describes one SOR problem.
@@ -172,94 +170,17 @@ func band(m, nprocs, id int) (int, int) {
 
 // RunSeq runs the sequential program.
 func RunSeq(cfg Config) (core.Result, Output, error) {
-	var out Output
-	res, err := core.RunSeq(func(ctx *sim.Ctx) {
-		red, black := cfg.grids()
-		h := cfg.half()
-		row := func(a []float64, i int) []float64 { return a[i*h : (i+1)*h] }
-		for s := 0; s < cfg.Sweeps; s++ {
-			tgt, oth := red, black
-			isRed := s%2 == 0
-			if !isRed {
-				tgt, oth = black, red
-			}
-			for i := 1; i < cfg.M-1; i++ {
-				cost := sweepRow(cfg, i, row(tgt, i), row(oth, i-1), row(oth, i), row(oth, i+1),
-					colParity(i, isRed))
-				ctx.Compute(cost)
-			}
-		}
-		sums := make([]float64, 2*cfg.M)
-		for i := 0; i < cfg.M; i++ {
-			sums[2*i] = rowSum(row(red, i))
-			sums[2*i+1] = rowSum(row(black, i))
-		}
-		out.Checksum = checksum(sums)
-	})
-	return res, out, err
+	a := newApp(cfg)
+	res, err := core.Seq.Run(a, core.Base(1))
+	return res, a.seqOut, err
 }
 
 // RunTMK runs the TreadMarks version: both arrays live in shared memory,
 // processors synchronize with one barrier per color sweep.
 func RunTMK(cfg Config, ccfg core.Config) (core.Result, Output, error) {
-	h := cfg.half()
-	var redA, blackA, sumsA tmk.Addr
-	var out Output
-	res, err := core.RunTMK(ccfg,
-		func(sys *tmk.System) {
-			redA = sys.Malloc(8 * cfg.M * h)
-			blackA = sys.Malloc(8 * cfg.M * h)
-			sumsA = sys.Malloc(8 * 2 * cfg.M)
-			red, black := cfg.grids()
-			sys.InitF64(redA, red)
-			sys.InitF64(blackA, black)
-		},
-		func(p *tmk.Proc) {
-			lo, hi := band(cfg.M, p.N(), p.ID())
-			red := p.F64Array(redA, cfg.M*h)
-			black := p.F64Array(blackA, cfg.M*h)
-			// Local scratch rows.
-			up := make([]float64, h)
-			same := make([]float64, h)
-			down := make([]float64, h)
-			tgt := make([]float64, h)
-			for s := 0; s < cfg.Sweeps; s++ {
-				isRed := s%2 == 0
-				tArr, oArr := red, black
-				if !isRed {
-					tArr, oArr = black, red
-				}
-				for i := lo; i < hi; i++ {
-					if i == 0 || i == cfg.M-1 {
-						continue
-					}
-					oArr.Load(up, (i-1)*h, i*h)
-					oArr.Load(same, i*h, (i+1)*h)
-					oArr.Load(down, (i+1)*h, (i+2)*h)
-					tArr.Load(tgt, i*h, (i+1)*h)
-					cost := sweepRow(cfg, i, tgt, up, same, down, colParity(i, isRed))
-					p.Compute(cost)
-					tArr.Store(tgt, i*h)
-				}
-				p.Barrier(s)
-			}
-			// Residual: per-row sums in shared memory, reduced by proc 0.
-			sums := p.F64Array(sumsA, 2*cfg.M)
-			buf := make([]float64, h)
-			for i := lo; i < hi; i++ {
-				red.Load(buf, i*h, (i+1)*h)
-				sums.Set(2*i, rowSum(buf))
-				black.Load(buf, i*h, (i+1)*h)
-				sums.Set(2*i+1, rowSum(buf))
-			}
-			p.Barrier(cfg.Sweeps)
-			if p.ID() == 0 {
-				all := make([]float64, 2*cfg.M)
-				sums.Load(all, 0, 2*cfg.M)
-				out.Checksum = checksum(all)
-			}
-		})
-	return res, out, err
+	a := newApp(cfg)
+	res, err := core.TMK.Run(a, core.Scenario{Name: "custom", Config: ccfg})
+	return res, a.parOut, err
 }
 
 // Message tags for the PVM version.
@@ -272,88 +193,7 @@ const (
 // RunPVM runs the PVM version: each processor holds its band plus ghost
 // rows and explicitly sends the just-updated boundary rows to neighbors.
 func RunPVM(cfg Config, ccfg core.Config) (core.Result, Output, error) {
-	h := cfg.half()
-	var out Output
-	res, err := core.RunPVM(ccfg, func(p *pvm.Proc) {
-		lo, hi := band(cfg.M, p.N(), p.ID())
-		// Local storage only for the band plus ghost rows: the data is
-		// initialized in a distributed manner in the PVM version.
-		glo := lo - 1
-		if glo < 0 {
-			glo = 0
-		}
-		ghi := hi + 1
-		if ghi > cfg.M {
-			ghi = cfg.M
-		}
-		red := make([]float64, (ghi-glo)*h)
-		black := make([]float64, (ghi-glo)*h)
-		for i := glo; i < ghi; i++ {
-			for k := 0; k < h; k++ {
-				red[(i-glo)*h+k] = cfg.initValue(i, 2*k+(i%2))
-				black[(i-glo)*h+k] = cfg.initValue(i, 2*k+((i+1)%2))
-			}
-		}
-		row := func(a []float64, i int) []float64 {
-			if i < glo || i >= ghi {
-				panic(fmt.Sprintf("sor: pvm proc %d touched row %d outside [%d,%d)", p.ID(), i, glo, ghi))
-			}
-			return a[(i-glo)*h : (i-glo+1)*h]
-		}
-		for s := 0; s < cfg.Sweeps; s++ {
-			isRed := s%2 == 0
-			tgt, oth := red, black
-			if !isRed {
-				tgt, oth = black, red
-			}
-			for i := lo; i < hi; i++ {
-				if i == 0 || i == cfg.M-1 {
-					continue
-				}
-				cost := sweepRow(cfg, i, row(tgt, i), row(oth, i-1), row(oth, i), row(oth, i+1),
-					colParity(i, isRed))
-				p.Compute(cost)
-			}
-			// Exchange the just-updated color's boundary rows.
-			if p.ID() > 0 {
-				b := p.InitSend()
-				b.PackFloat64(row(tgt, lo), h, 1)
-				p.Send(p.ID()-1, tagRowUp)
-			}
-			if p.ID() < p.N()-1 {
-				b := p.InitSend()
-				b.PackFloat64(row(tgt, hi-1), h, 1)
-				p.Send(p.ID()+1, tagRowDown)
-			}
-			if p.ID() < p.N()-1 {
-				r := p.Recv(p.ID()+1, tagRowUp)
-				r.UnpackFloat64(row(tgt, hi), h, 1)
-			}
-			if p.ID() > 0 {
-				r := p.Recv(p.ID()-1, tagRowDown)
-				r.UnpackFloat64(row(tgt, lo-1), h, 1)
-			}
-		}
-		// Residual: ship per-row sums to processor 0.
-		mySums := make([]float64, 2*(hi-lo))
-		for i := lo; i < hi; i++ {
-			mySums[2*(i-lo)] = rowSum(row(red, i))
-			mySums[2*(i-lo)+1] = rowSum(row(black, i))
-		}
-		if p.ID() != 0 {
-			b := p.InitSend()
-			b.PackFloat64(mySums, len(mySums), 1)
-			p.Send(0, tagSums)
-			return
-		}
-		all := make([]float64, 2*cfg.M)
-		copy(all, mySums)
-		for src := 1; src < p.N(); src++ {
-			slo, shi := band(cfg.M, p.N(), src)
-			r := p.Recv(src, tagSums)
-			r.UnpackFloat64(all[2*slo:2*shi], 2*(shi-slo), 1)
-		}
-		out.Checksum = checksum(all)
-	}, nil)
-	return res, out, err
+	a := newApp(cfg)
+	res, err := core.PVM.Run(a, core.Scenario{Name: "custom", Config: ccfg})
+	return res, a.parOut, err
 }

@@ -2,8 +2,6 @@ package tsp
 
 import (
 	"repro/internal/core"
-	"repro/internal/pvm"
-	"repro/internal/sim"
 	"repro/internal/tmk"
 )
 
@@ -220,47 +218,11 @@ func (w *tmkWorker) getTour() ([]int32, int32) {
 	}
 }
 
-// bestTMK records improvements found by any processor (verification
-// collector, outside the simulation's accounting).
-var bestTMK int32
-
 // RunTMK runs the TreadMarks version.
 func RunTMK(cfg Config, ccfg core.Config) (core.Result, Output, error) {
-	var l tmkLayout
-	s := newSolver(cfg)
-	bestTMK = s.greedy()
-	res, err := core.RunTMK(ccfg,
-		func(sys *tmk.System) { l = layoutTMK(sys, cfg) },
-		func(p *tmk.Proc) {
-			w := &tmkWorker{p: p, cfg: cfg, s: s, l: l,
-				q:  p.I64Array(l.queue, maxPool),
-				st: p.I32Array(l.stack, maxPool),
-				pl: p.I32Array(l.pool, maxPool*cfg.recInts()),
-			}
-			for {
-				path, length := w.getTour()
-				if path == nil {
-					break
-				}
-				localBest := p.ReadI32(l.best)
-				var nodes int64
-				found := s.recursiveSolve(path, length, localBest, &nodes)
-				p.Compute(sim.Time(nodes) * cfg.NodeCost)
-				if found < localBest {
-					// Update the shortest tour under its lock.
-					p.LockAcquire(lockBest)
-					if cur := p.ReadI32(l.best); found < cur {
-						p.WriteI32(l.best, found)
-						if found < bestTMK {
-							bestTMK = found
-						}
-					}
-					p.LockRelease(lockBest)
-				}
-			}
-			p.Barrier(0)
-		})
-	return res, Output{Best: bestTMK}, err
+	a := newApp(cfg)
+	res, err := core.TMK.Run(a, core.Scenario{Name: "custom", Config: ccfg})
+	return res, Output{Best: a.best}, err
 }
 
 // PVM message tags.
@@ -270,141 +232,11 @@ const (
 	tagUpdate  = 3
 )
 
-// bestPVM is the PVM verification collector.
-var bestPVM int32
-
 // RunPVM runs the PVM master/slave version: the master keeps all tour
-// structures private; slaves request solvable tours and report improved
-// shortest tours.
+// structures private; slaves message the master to request solvable tours
+// and to report improved shortest tours.
 func RunPVM(cfg Config, ccfg core.Config) (core.Result, Output, error) {
-	s := newSolver(cfg)
-	bestPVM = s.greedy()
-	n := ccfg.Procs
-	res, err := core.RunPVM(ccfg,
-		func(p *pvm.Proc) { // slave
-			master := n // the extra process id
-			for {
-				b := p.InitSend()
-				b.PackOneInt32(int32(p.ID()))
-				p.Send(master, tagWorkReq)
-				r := p.Recv(master, tagWork)
-				ln := int(r.UnpackOneInt32())
-				if ln == 0 {
-					return // done
-				}
-				path := make([]int32, ln)
-				r.UnpackInt32(path, ln, 1)
-				length := r.UnpackOneInt32()
-				best := r.UnpackOneInt32()
-				var nodes int64
-				found := s.recursiveSolve(path, length, best, &nodes)
-				p.Compute(sim.Time(nodes) * cfg.NodeCost)
-				if found < best {
-					b := p.InitSend()
-					b.PackOneInt32(found)
-					p.Send(master, tagUpdate)
-				}
-			}
-		},
-		func(p *pvm.Proc) { // master
-			type item struct {
-				bound  int32
-				length int32
-				path   []int32
-			}
-			var heap []item
-			push := func(it item) {
-				heap = append(heap, it)
-				for i := len(heap) - 1; i > 0; {
-					par := (i - 1) / 2
-					if heap[par].bound <= heap[i].bound {
-						break
-					}
-					heap[par], heap[i] = heap[i], heap[par]
-					i = par
-				}
-				p.Compute(cfg.QueueCost)
-			}
-			pop := func() item {
-				top := heap[0]
-				last := len(heap) - 1
-				heap[0] = heap[last]
-				heap = heap[:last]
-				for i := 0; ; {
-					l, r := 2*i+1, 2*i+2
-					m := i
-					if l < last && heap[l].bound < heap[m].bound {
-						m = l
-					}
-					if r < last && heap[r].bound < heap[m].bound {
-						m = r
-					}
-					if m == i {
-						break
-					}
-					heap[i], heap[m] = heap[m], heap[i]
-					i = m
-				}
-				p.Compute(cfg.QueueCost)
-				return top
-			}
-			best := s.greedy()
-			push(item{0, 0, []int32{0}})
-			// getTour: pop and extend until a solvable path emerges.
-			getTour := func() (item, bool) {
-				for len(heap) > 0 {
-					it := pop()
-					if it.bound >= best {
-						continue
-					}
-					if len(it.path) >= cfg.returnLen() {
-						return it, true
-					}
-					visited := uint32(0)
-					for _, c := range it.path {
-						visited |= 1 << uint(c)
-					}
-					lastC := it.path[len(it.path)-1]
-					for c := int32(0); c < int32(cfg.Cities); c++ {
-						if visited&(1<<uint(c)) != 0 {
-							continue
-						}
-						nl := it.length + s.d[lastC][c]
-						np := append(append([]int32(nil), it.path...), c)
-						nb := s.lowerBound(np, nl)
-						p.Compute(cfg.BoundCost)
-						if nb < best {
-							push(item{nb, nl, np})
-						}
-					}
-				}
-				return item{}, false
-			}
-			done := 0
-			for done < n {
-				r := p.Recv(-1, -1)
-				switch r.Tag() {
-				case tagUpdate:
-					if v := r.UnpackOneInt32(); v < best {
-						best = v
-					}
-				case tagWorkReq:
-					slave := int(r.UnpackOneInt32())
-					it, ok := getTour()
-					b := p.InitSend()
-					if !ok {
-						b.PackOneInt32(0)
-						done++
-					} else {
-						b.PackOneInt32(int32(len(it.path)))
-						b.PackInt32(it.path, len(it.path), 1)
-						b.PackOneInt32(it.length)
-						b.PackOneInt32(best)
-					}
-					p.Send(slave, tagWork)
-				}
-			}
-			bestPVM = best
-		})
-	return res, Output{Best: bestPVM}, err
+	a := newApp(cfg)
+	res, err := core.PVM.Run(a, core.Scenario{Name: "custom", Config: ccfg})
+	return res, Output{Best: a.best}, err
 }

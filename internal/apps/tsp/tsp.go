@@ -228,8 +228,15 @@ func (c Config) returnLen() int { return c.Cities - c.Threshold }
 // RunSeq runs the sequential branch and bound (a single worker with a
 // private queue).
 func RunSeq(cfg Config) (core.Result, Output, error) {
-	var out Output
-	res, err := core.RunSeq(func(ctx *sim.Ctx) {
+	a := newApp(cfg)
+	res, err := core.Seq.Run(a, core.Base(1))
+	return res, a.seqOut, err
+}
+
+// Seq is the sequential body.
+func (a *app) Seq(ctx *sim.Ctx) {
+	cfg := a.cfg
+	{
 		s := newSolver(cfg)
 		best := s.greedy()
 		// Priority queue of (bound, path) — local heap.
@@ -304,7 +311,7 @@ func RunSeq(cfg Config) (core.Result, Output, error) {
 				}
 			}
 		}
-		out.Best = best
-	})
-	return res, out, err
+		a.seqOut.Best = best
+		a.hasSeq = true
+	}
 }

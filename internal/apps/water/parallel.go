@@ -1,12 +1,7 @@
 package water
 
 import (
-	"math"
-
 	"repro/internal/core"
-	"repro/internal/pvm"
-	"repro/internal/sim"
-	"repro/internal/tmk"
 )
 
 // interactionWindow lists the processors whose chunks overlap the n/2
@@ -43,103 +38,13 @@ func interactionWindow(mols, nprocs, id int) []int {
 	return out
 }
 
-// collected accumulates per-processor verification checksums out of band.
-var collected Output
-
 // RunTMK runs the TreadMarks version: positions and forces shared; force
 // contributions accumulated privately and merged under per-processor
 // locks at the end of the force phase.
 func RunTMK(cfg Config, ccfg core.Config) (core.Result, Output, error) {
-	var posA, frcA tmk.Addr
-	s := newState(cfg) // master copy: every proc reads pos lazily via DSM
-	n3 := 3 * cfg.Mols
-	res, err := core.RunTMK(ccfg,
-		func(sys *tmk.System) {
-			posA = sys.MallocPageAligned(8 * n3)
-			frcA = sys.MallocPageAligned(8 * n3)
-			sys.InitF64(posA, s.pos)
-		},
-		func(p *tmk.Proc) {
-			nprocs := p.N()
-			lo, hi := chunk(cfg.Mols, nprocs, p.ID())
-			pos := p.F64Array(posA, n3)
-			frc := p.I64Array(frcA, n3)
-			// Each proc's private state mirror; positions are read from
-			// shared memory each step.
-			ps := newState(cfg)
-			acc := make([]int64, n3)
-			forces := make([]int64, n3)
-			for step := 0; step < cfg.Steps; step++ {
-				// Read the positions this proc interacts with.
-				half := cfg.Mols / 2
-				for off := 0; off < hi-lo+half && off < cfg.Mols; off++ {
-					m := (lo + off) % cfg.Mols
-					for k := 0; k < 3; k++ {
-						ps.pos[3*m+k] = pos.At(3*m + k)
-					}
-				}
-				for i := range acc {
-					acc[i] = 0
-				}
-				pairs := ps.forceRange(lo, hi, acc)
-				p.Compute(sim.Time(pairs) * cfg.PairCost)
-				// Merge per-owner contributions under that owner's lock.
-				for _, q := range append([]int{p.ID()}, interactionWindow(cfg.Mols, nprocs, p.ID())...) {
-					qlo, qhi := chunk(cfg.Mols, nprocs, q)
-					any := false
-					for i := 3 * qlo; i < 3*qhi; i++ {
-						if acc[i] != 0 {
-							any = true
-							break
-						}
-					}
-					if !any {
-						continue
-					}
-					p.LockAcquire(q)
-					for i := 3 * qlo; i < 3*qhi; i++ {
-						if acc[i] != 0 {
-							frc.Set(i, frc.At(i)+acc[i])
-						}
-					}
-					p.LockRelease(q)
-				}
-				p.Barrier(3 * step)
-				// Owners read their final forces (may fault: last writer
-				// was elsewhere, and false sharing brings extra data).
-				for i := 3 * lo; i < 3*hi; i++ {
-					forces[i] = frc.At(i)
-				}
-				ps.integrate(lo, hi, forces)
-				p.Compute(sim.Time(hi-lo) * cfg.MolCost)
-				// Write updated positions and clear own forces.
-				for m := lo; m < hi; m++ {
-					for k := 0; k < 3; k++ {
-						pos.Set(3*m+k, ps.pos[3*m+k])
-					}
-				}
-				for i := 3 * lo; i < 3*hi; i++ {
-					frc.Set(i, 0)
-				}
-				p.Barrier(3*step + 1)
-			}
-			// Verification: fold this proc's chunk into the collector.
-			var part Output
-			for i := 3 * lo; i < 3*hi; i++ {
-				part.ForceSum += forces[i] * int64(i%31+1)
-			}
-			for m := lo; m < hi; m++ {
-				for k := 0; k < 3; k++ {
-					i := 3*m + k
-					part.PosSum += int64(math.Round(ps.pos[i]*1e6)) * int64(i%17+1)
-				}
-			}
-			collected.ForceSum += part.ForceSum
-			collected.PosSum += part.PosSum
-		})
-	out := collected
-	collected = Output{}
-	return res, out, err
+	a := &app{cfg: cfg}
+	res, err := core.TMK.Run(a, core.Scenario{Name: "custom", Config: ccfg})
+	return res, a.parOut, err
 }
 
 // PVM message tags.
@@ -151,79 +56,7 @@ const (
 // RunPVM runs the PVM version: processors exchange displacements before
 // the force phase and locally accumulated force modifications after it.
 func RunPVM(cfg Config, ccfg core.Config) (core.Result, Output, error) {
-	res, err := core.RunPVM(ccfg, func(p *pvm.Proc) {
-		nprocs := p.N()
-		lo, hi := chunk(cfg.Mols, nprocs, p.ID())
-		window := interactionWindow(cfg.Mols, nprocs, p.ID())
-		// Processors whose force phases need *my* positions: those whose
-		// windows contain me.
-		var audience []int
-		for q := 0; q < nprocs; q++ {
-			if q == p.ID() {
-				continue
-			}
-			for _, w := range interactionWindow(cfg.Mols, nprocs, q) {
-				if w == p.ID() {
-					audience = append(audience, q)
-					break
-				}
-			}
-		}
-		ps := newState(cfg)
-		acc := make([]int64, 3*cfg.Mols)
-		forces := make([]int64, 3*cfg.Mols)
-		for step := 0; step < cfg.Steps; step++ {
-			// Exchange displacements.
-			if len(audience) > 0 {
-				b := p.InitSend()
-				b.PackFloat64(ps.pos[3*lo:3*hi], 3*(hi-lo), 1)
-				p.Mcast(audience, tagPos)
-			}
-			for range window {
-				r := p.Recv(-1, tagPos)
-				qlo, qhi := chunk(cfg.Mols, nprocs, r.Src())
-				r.UnpackFloat64(ps.pos[3*qlo:3*qhi], 3*(qhi-qlo), 1)
-			}
-			for i := range acc {
-				acc[i] = 0
-			}
-			pairs := ps.forceRange(lo, hi, acc)
-			p.Compute(sim.Time(pairs) * cfg.PairCost)
-			// Ship per-owner force contributions.
-			for _, q := range window {
-				qlo, qhi := chunk(cfg.Mols, nprocs, q)
-				b := p.InitSend()
-				b.PackInt64(acc[3*qlo:3*qhi], 3*(qhi-qlo), 1)
-				p.Send(q, tagFrc)
-			}
-			for i := 3 * lo; i < 3*hi; i++ {
-				forces[i] = acc[i]
-			}
-			for range audience {
-				r := p.Recv(-1, tagFrc)
-				contrib := make([]int64, 3*(hi-lo))
-				r.UnpackInt64(contrib, 3*(hi-lo), 1)
-				for i := range contrib {
-					forces[3*lo+i] += contrib[i]
-				}
-			}
-			ps.integrate(lo, hi, forces)
-			p.Compute(sim.Time(hi-lo) * cfg.MolCost)
-		}
-		var part Output
-		for i := 3 * lo; i < 3*hi; i++ {
-			part.ForceSum += forces[i] * int64(i%31+1)
-		}
-		for m := lo; m < hi; m++ {
-			for k := 0; k < 3; k++ {
-				i := 3*m + k
-				part.PosSum += int64(math.Round(ps.pos[i]*1e6)) * int64(i%17+1)
-			}
-		}
-		collected.ForceSum += part.ForceSum
-		collected.PosSum += part.PosSum
-	}, nil)
-	out := collected
-	collected = Output{}
-	return res, out, err
+	a := &app{cfg: cfg}
+	res, err := core.PVM.Run(a, core.Scenario{Name: "custom", Config: ccfg})
+	return res, a.parOut, err
 }

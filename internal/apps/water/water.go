@@ -235,20 +235,7 @@ func (s *state) checksum(forces []int64) Output {
 
 // RunSeq runs the sequential program.
 func RunSeq(cfg Config) (core.Result, Output, error) {
-	var out Output
-	res, err := core.RunSeq(func(ctx *sim.Ctx) {
-		s := newState(cfg)
-		forces := make([]int64, 3*cfg.Mols)
-		for step := 0; step < cfg.Steps; step++ {
-			for i := range forces {
-				forces[i] = 0
-			}
-			pairs := s.forceRange(0, cfg.Mols, forces)
-			ctx.Compute(sim.Time(pairs) * cfg.PairCost)
-			s.integrate(0, cfg.Mols, forces)
-			ctx.Compute(sim.Time(cfg.Mols) * cfg.MolCost)
-		}
-		out = s.checksum(forces)
-	})
-	return res, out, err
+	a := &app{cfg: cfg}
+	res, err := core.Seq.Run(a, core.Base(1))
+	return res, a.seqOut, err
 }

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/pvm"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+)
+
+// This file is the Backend conformance suite: a miniature App exercised
+// against every adapter.  Each backend must run the app's bodies, honor
+// the scenario, produce deterministic results, and leave the app in a
+// state its Check accepts.  The real applications get the same treatment
+// across the full registry in internal/harness.
+
+// miniApp sums per-processor contributions: shared array + barrier under
+// TreadMarks, a gather to process 0 under PVM, an optional master that
+// collects and acknowledges (for placement tests).
+type miniApp struct {
+	withMaster bool
+
+	addr tmk.Addr
+
+	seqOut, parOut int64
+	hasSeq, hasPar bool
+}
+
+func (a *miniApp) Name() string    { return "mini" }
+func (a *miniApp) Figure() int     { return 0 }
+func (a *miniApp) Problem() string { return "conformance kernel" }
+
+func (a *miniApp) Check() error {
+	if !a.hasSeq || !a.hasPar {
+		return fmt.Errorf("mini: Check needs a sequential and a parallel run")
+	}
+	if a.seqOut != a.parOut {
+		return fmt.Errorf("mini: output %d vs %d", a.parOut, a.seqOut)
+	}
+	return nil
+}
+
+const miniProcsModeled = 4 // contributions are identical per proc, so any count agrees
+
+func (a *miniApp) contribution() int64 { return 7 }
+
+func (a *miniApp) Seq(ctx *sim.Ctx) {
+	ctx.Compute(time(1))
+	a.seqOut = a.contribution()
+	a.hasSeq = true
+}
+
+func time(ms int) sim.Time { return sim.Time(ms) * sim.Millisecond }
+
+func (a *miniApp) SetupTMK(sys *tmk.System) {
+	a.parOut, a.hasPar = 0, false
+	a.addr = sys.Malloc(8)
+}
+
+func (a *miniApp) TMK(p *tmk.Proc) {
+	p.Compute(time(1))
+	if p.ID() == 0 {
+		p.WriteI64(a.addr, a.contribution())
+	}
+	p.Barrier(0)
+	if p.ID() == 0 {
+		a.parOut = p.ReadI64(a.addr)
+		a.hasPar = true
+	} else {
+		_ = p.ReadI64(a.addr) // remote read: forces diff traffic
+	}
+}
+
+func (a *miniApp) SetupPVM(sys *pvm.System) {
+	a.parOut, a.hasPar = 0, false
+}
+
+func (a *miniApp) PVM(p *pvm.Proc) {
+	p.Compute(time(1))
+	if a.withMaster {
+		// Report to the master and await the acknowledged total.
+		b := p.InitSend()
+		b.PackOneInt64(a.contribution())
+		p.Send(p.N(), 1)
+		r := p.Recv(p.N(), 2)
+		if p.ID() == 0 {
+			a.parOut = r.UnpackOneInt64()
+			a.hasPar = true
+		}
+		return
+	}
+	if p.ID() != 0 {
+		b := p.InitSend()
+		b.PackOneInt64(a.contribution())
+		p.Send(0, 1)
+		return
+	}
+	for src := 1; src < p.N(); src++ {
+		p.Recv(src, 1)
+	}
+	a.parOut = a.contribution()
+	a.hasPar = true
+}
+
+func (a *miniApp) Master() func(*pvm.Proc) {
+	if !a.withMaster {
+		return nil
+	}
+	return func(p *pvm.Proc) {
+		var total int64
+		for i := 0; i < p.N(); i++ {
+			r := p.Recv(-1, 1)
+			_ = r.UnpackOneInt64()
+			total = a.contribution() // identical contributions: ack the value
+		}
+		for i := 0; i < p.N(); i++ {
+			b := p.InitSend()
+			b.PackOneInt64(total)
+			p.Send(i, 2)
+		}
+	}
+}
+
+func TestBackendNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, b := range StandardBackends() {
+		if b.Name() == "" {
+			t.Fatal("backend with empty name")
+		}
+		if seen[b.Name()] {
+			t.Fatalf("duplicate backend name %q", b.Name())
+		}
+		seen[b.Name()] = true
+	}
+}
+
+func TestBaselineDetection(t *testing.T) {
+	if !IsBaseline(Seq) {
+		t.Error("Seq must be a baseline")
+	}
+	if IsBaseline(TMK) || IsBaseline(PVM) {
+		t.Error("TMK/PVM must not be baselines")
+	}
+	v := Variant("seq-v", Seq, func(sc Scenario) Scenario { return sc })
+	if !IsBaseline(v) {
+		t.Error("a variant of a baseline is a baseline")
+	}
+	if IsBaseline(Variant("pvm-v", PVM, func(sc Scenario) Scenario { return sc })) {
+		t.Error("a variant of PVM is not a baseline")
+	}
+}
+
+// TestBackendConformance runs the miniature app under every adapter and
+// checks the adapter contract: successful run, deterministic repeat,
+// plausible accounting, and an output the app's Check accepts.
+func TestBackendConformance(t *testing.T) {
+	app := &miniApp{}
+	if _, err := Seq.Run(app, Base(1)); err != nil {
+		t.Fatalf("seq: %v", err)
+	}
+	for _, b := range []Backend{Seq, TMK, PVM} {
+		sc := Base(miniProcsModeled)
+		r1, err := b.Run(app, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if !IsBaseline(b) {
+			if err := app.Check(); err != nil {
+				t.Errorf("%s: %v", b.Name(), err)
+			}
+		}
+		r2, err := b.Run(app, sc)
+		if err != nil {
+			t.Fatalf("%s rerun: %v", b.Name(), err)
+		}
+		if r1 != r2 {
+			t.Errorf("%s: nondeterministic result:\n  %+v\n  %+v", b.Name(), r1, r2)
+		}
+		if r1.Time <= 0 {
+			t.Errorf("%s: no modeled time", b.Name())
+		}
+		if IsBaseline(b) {
+			if r1.Net.Messages != 0 {
+				t.Errorf("seq counted traffic: %+v", r1.Net)
+			}
+		} else if r1.Net.Messages == 0 {
+			t.Errorf("%s at %d procs sent no messages", b.Name(), sc.Procs)
+		}
+	}
+}
+
+// TestVariantScenarioOverride checks that a Variant's scenario rewrite
+// reaches the run: XDR conversion costs CPU but moves no extra bytes.
+func TestVariantScenarioOverride(t *testing.T) {
+	app := &miniApp{}
+	if _, err := Seq.Run(app, Base(1)); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := PVM.Run(app, Base(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xdr := Variant("pvm-xdr-test", PVM, func(sc Scenario) Scenario {
+		sc.XDRPerByte = 10 * sim.Microsecond
+		return sc
+	})
+	conv, err := xdr.Run(app, Base(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if conv.Net != plain.Net {
+		t.Errorf("xdr changed traffic: %+v vs %+v", conv.Net, plain.Net)
+	}
+	if conv.Time <= plain.Time {
+		t.Errorf("xdr should cost time: %v <= %v", conv.Time, plain.Time)
+	}
+}
+
+// TestMasterPlacement checks the PVM placement axis: co-locating the
+// master with slave 0 turns their exchanges into unaccounted loopback.
+func TestMasterPlacement(t *testing.T) {
+	app := &miniApp{withMaster: true}
+	if _, err := Seq.Run(app, Base(1)); err != nil {
+		t.Fatal(err)
+	}
+	apart, err := PVM.Run(app, Base(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Check(); err != nil {
+		t.Fatal(err)
+	}
+	sc := Base(3)
+	sc.Name = "colocated"
+	sc.MasterColocated = true
+	co, err := PVM.Run(app, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Each of the 3 slaves exchanges 2 messages with the master; slave
+	// 0's pair becomes loopback when co-located.
+	if want := apart.Net.Messages - 2; co.Net.Messages != want {
+		t.Errorf("colocated messages = %d, want %d (apart %d)",
+			co.Net.Messages, want, apart.Net.Messages)
+	}
+}

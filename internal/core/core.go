@@ -9,6 +9,13 @@
 //   - RunTMK: the TreadMarks version on n processors;
 //   - RunPVM: the PVM version on n processors, optionally with an extra
 //     co-located master process (the paper's TSP/QSORT arrangement).
+//
+// On top of these sits the scenario-first experiment surface
+// (experiment.go): an App implemented once per application package, a
+// Backend adapting it to one system (seq/tmk/pvm, plus Variant-derived
+// ablations), and a Scenario value that fully determines a run.  New
+// configurations are declared as data; the application bodies never
+// change.
 package core
 
 import (
@@ -18,11 +25,34 @@ import (
 	"repro/internal/vnet"
 )
 
-// Config selects cluster size and cost models.
+// Config selects cluster size, cost models, process placement and
+// cost-model overrides.  The zero values of the override fields reproduce
+// the paper's testbed exactly.
 type Config struct {
 	Procs int
 	Net   vnet.Config
 	DSM   tmk.Config
+
+	// XDRPerByte, when positive, enables PVM external-data-representation
+	// conversion at this per-byte CPU cost (the paper disables XDR:
+	// identical machines).  Modeling a heterogeneous cluster is a
+	// one-line scenario override.
+	XDRPerByte sim.Time
+
+	// MasterColocated places the app's extra PVM master process (if any)
+	// on node 0, sharing the workstation with slave 0 as in the paper's
+	// physical arrangement: master/slave-0 traffic crosses loopback and
+	// is not counted as user messages.  The default (false) keeps the
+	// seed behavior of a master on its own node, where every master/slave
+	// exchange is a real message.
+	//
+	// Caveat: receive filters and Buffer.Src() identify senders by node,
+	// so a co-located master is indistinguishable from slave 0 to a
+	// receiver.  The app's protocol must keep them apart by message tag
+	// (as the paper's master/slave apps do: master-bound and slave-bound
+	// tags are disjoint) and must not dispatch on Src() of messages that
+	// could come from either.  See pvm.SpawnExtraAt.
+	MasterColocated bool
 }
 
 // Default returns the paper's testbed: n HP workstations on 100 Mbit/s
@@ -85,18 +115,29 @@ func RunTMK(cfg Config, setup func(sys *tmk.System), body func(p *tmk.Proc)) (Re
 	return res, nil
 }
 
-// RunPVM executes the PVM version: body runs on each of the n regular
-// processes; if master is non-nil it runs as an additional process (id n),
-// as in the paper's master/slave TSP and QSORT.
-func RunPVM(cfg Config, body func(p *pvm.Proc), master func(p *pvm.Proc)) (Result, error) {
+// RunPVM executes the PVM version: setup (optional) configures the
+// system and resets application run state, then body runs on each of the
+// n regular processes; if master is non-nil it runs as an additional
+// process (id n), as in the paper's master/slave TSP and QSORT.
+func RunPVM(cfg Config, setup func(sys *pvm.System), body func(p *pvm.Proc), master func(p *pvm.Proc)) (Result, error) {
 	eng := sim.NewEngine()
 	net := vnet.New(cfg.Net)
 	sys := pvm.New(eng, net, cfg.Procs)
+	if cfg.XDRPerByte > 0 {
+		sys.EnableXDR(cfg.XDRPerByte)
+	}
+	if setup != nil {
+		setup(sys)
+	}
 	for i := 0; i < cfg.Procs; i++ {
 		sys.Spawn(i, body)
 	}
 	if master != nil {
-		sys.SpawnExtra("master", master)
+		node := -1 // fresh node of its own (the seed arrangement)
+		if cfg.MasterColocated {
+			node = 0
+		}
+		sys.SpawnExtraAt("master", node, master)
 	}
 	if err := eng.Run(); err != nil {
 		return Result{}, err

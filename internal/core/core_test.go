@@ -54,7 +54,7 @@ func TestRunTMKCollectsDetail(t *testing.T) {
 func TestRunPVMWithMaster(t *testing.T) {
 	cfg := Default(2)
 	heard := 0
-	res, err := RunPVM(cfg,
+	res, err := RunPVM(cfg, nil,
 		func(p *pvm.Proc) {
 			r := p.Recv(2, 1) // master has id N
 			heard += int(r.UnpackOneInt32())

@@ -15,7 +15,24 @@ import (
 // of false sharing), the transport MTU (fragmentation of diff
 // accumulation), and the raw protocol costs (barrier and lock latency).
 // None of these appear as numbered figures in the paper, but they
-// quantify the mechanisms §4 blames for DSM overhead.
+// quantify the mechanisms §4 blames for DSM overhead.  The sweeps are
+// plain grids: one app, one backend, a scenario axis; the tables are
+// views of the records.
+
+// ablationTable renders one sweep's records as (scenario, msgs, KB, sec).
+func ablationTable(title string, recs []Record) string {
+	tbl := stats.Table{
+		Title:  title,
+		Header: []string{"Scenario", "Messages", "Kilobytes", "Time(sec)"},
+	}
+	for _, r := range recs {
+		tbl.AddRow(r.Scenario,
+			fmt.Sprintf("%d", r.Messages),
+			fmt.Sprintf("%.0f", r.Kilobytes()),
+			fmt.Sprintf("%.2f", r.Seconds))
+	}
+	return tbl.Render()
+}
 
 // AblatePageSize reruns SOR-Nonzero under TreadMarks at several page
 // sizes: larger pages mean fewer, bigger diffs and more false sharing on
@@ -27,23 +44,15 @@ func AblatePageSize(scale float64) (string, error) {
 		cfg.M = 64
 	}
 	cfg.Sweeps = 10
-	tbl := stats.Table{
-		Title:  "Ablation  SOR-Nonzero under TreadMarks vs page size (8 procs)",
-		Header: []string{"Page size", "Messages", "Kilobytes", "Time(sec)"},
+	recs, err := Grid{
+		Apps:      []core.App{sor.NewApp(cfg)},
+		Backends:  []core.Backend{core.TMK},
+		Scenarios: PageSizeScenarios(8, 1024, 4096, 16384),
+	}.Run()
+	if err != nil {
+		return "", err
 	}
-	for _, ps := range []int{1024, 4096, 16384} {
-		ccfg := core.Default(8)
-		ccfg.DSM.PageSize = ps
-		res, _, err := sor.RunTMK(cfg, ccfg)
-		if err != nil {
-			return "", fmt.Errorf("page size %d: %w", ps, err)
-		}
-		tbl.AddRow(fmt.Sprintf("%d", ps),
-			fmt.Sprintf("%d", res.Net.Messages),
-			fmt.Sprintf("%.0f", res.Net.Kilobytes()),
-			fmt.Sprintf("%.2f", res.Time.Seconds()))
-	}
-	return tbl.Render(), nil
+	return ablationTable("Ablation  SOR-Nonzero under TreadMarks vs page size (8 procs)", recs), nil
 }
 
 // AblateMTU reruns IS-Large under TreadMarks at several transport MTUs:
@@ -57,23 +66,15 @@ func AblateMTU(scale float64) (string, error) {
 		cfg.Keys = 1 << 12
 	}
 	cfg.Iters = 4
-	tbl := stats.Table{
-		Title:  "Ablation  IS-Large under TreadMarks vs transport MTU (8 procs)",
-		Header: []string{"MTU", "Messages", "Kilobytes", "Time(sec)"},
+	recs, err := Grid{
+		Apps:      []core.App{is.NewApp(cfg)},
+		Backends:  []core.Backend{core.TMK},
+		Scenarios: MTUScenarios(8, 4096, 16384, 65536),
+	}.Run()
+	if err != nil {
+		return "", err
 	}
-	for _, mtu := range []int{4096, 16384, 65536} {
-		ccfg := core.Default(8)
-		ccfg.Net.MTU = mtu
-		res, _, err := is.RunTMK(cfg, ccfg)
-		if err != nil {
-			return "", fmt.Errorf("mtu %d: %w", mtu, err)
-		}
-		tbl.AddRow(fmt.Sprintf("%d", mtu),
-			fmt.Sprintf("%d", res.Net.Messages),
-			fmt.Sprintf("%.0f", res.Net.Kilobytes()),
-			fmt.Sprintf("%.2f", res.Time.Seconds()))
-	}
-	return tbl.Render(), nil
+	return ablationTable("Ablation  IS-Large under TreadMarks vs transport MTU (8 procs)", recs), nil
 }
 
 // MicroBench measures the raw synchronization primitives the paper's

@@ -183,28 +183,35 @@ var golden = map[string]map[string][3]metric{
 	},
 }
 
-// runGolden collects the golden metrics for one full pass.
+// runGolden collects the golden metrics for one full pass: the same
+// record grid cmd/goldgen dumps, folded into the pinned-table shape.
 func runGolden(t *testing.T) map[string]map[string][3]metric {
 	t.Helper()
-	runners := Experiments(goldenScale)
+	recs, err := Grid{
+		Apps:      Apps(goldenScale),
+		Backends:  []core.Backend{core.TMK, core.PVM},
+		Scenarios: BaseScenarios(goldenProcs[:]...),
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := map[string]map[string][3]metric{}
-	for name := range golden {
-		r := Find(runners, name)
-		if r == nil {
-			t.Fatalf("experiment %q not registered", name)
-		}
-		sys := map[string][3]metric{}
+	for _, r := range recs {
+		slot := -1
 		for i, n := range goldenProcs {
-			tres, terr := r.TMK(n)
-			pres, perr := r.PVM(n)
-			tm := sys["tmk"]
-			tm[i] = capture(t, tres, terr)
-			sys["tmk"] = tm
-			pm := sys["pvm"]
-			pm[i] = capture(t, pres, perr)
-			sys["pvm"] = pm
+			if r.Procs == n {
+				slot = i
+			}
 		}
-		out[r.Name] = sys
+		if slot < 0 {
+			t.Fatalf("unexpected proc count %d in grid records", r.Procs)
+		}
+		if out[r.App] == nil {
+			out[r.App] = map[string][3]metric{}
+		}
+		m := out[r.App][r.Backend]
+		m[slot] = metric{time: r.TimeNS, msgs: r.Messages, bytes: r.Bytes}
+		out[r.App][r.Backend] = m
 	}
 	return out
 }
@@ -233,22 +240,19 @@ func TestGoldenMetrics(t *testing.T) {
 // bit-for-bit identical metrics: the engine must not leak host
 // nondeterminism (goroutine scheduling, map order) into modeled results.
 func TestBackToBackRunsIdentical(t *testing.T) {
-	runners := Experiments(goldenScale)
+	apps := Apps(goldenScale)
 	for _, name := range []string{"SOR-Zero", "IS-Small"} {
-		r := Find(runners, name)
-		if r == nil {
+		app := Find(apps, name)
+		if app == nil {
 			t.Fatalf("experiment %q not registered", name)
 		}
 		for _, n := range goldenProcs {
-			r1, err1 := r.TMK(n)
-			r2, err2 := r.TMK(n)
-			if a, b := capture(t, r1, err1), capture(t, r2, err2); a != b {
-				t.Errorf("%s tmk n=%d: run1 %+v != run2 %+v", name, n, a, b)
-			}
-			p1, perr1 := r.PVM(n)
-			p2, perr2 := r.PVM(n)
-			if a, b := capture(t, p1, perr1), capture(t, p2, perr2); a != b {
-				t.Errorf("%s pvm n=%d: run1 %+v != run2 %+v", name, n, a, b)
+			for _, b := range []core.Backend{core.TMK, core.PVM} {
+				r1, err1 := b.Run(app, core.Base(n))
+				r2, err2 := b.Run(app, core.Base(n))
+				if a, bb := capture(t, r1, err1), capture(t, r2, err2); a != bb {
+					t.Errorf("%s %s n=%d: run1 %+v != run2 %+v", name, b.Name(), n, a, bb)
+				}
 			}
 		}
 	}

@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Record is one run's structured result: the coordinates that produced it
+// (app, backend, scenario, processor count) plus the modeled measurements
+// the paper reports and the TreadMarks behavioral detail.  Records are
+// the single interchange format of the harness: tables, figures, goldens
+// and the CLI's JSON/CSV output are all views of []Record.
+type Record struct {
+	App      string `json:"app"`
+	Figure   int    `json:"figure,omitempty"`
+	Problem  string `json:"problem,omitempty"`
+	Backend  string `json:"backend"`
+	Scenario string `json:"scenario"`
+	Procs    int    `json:"procs"`
+
+	TimeNS   int64   `json:"time_ns"`
+	Seconds  float64 `json:"seconds"`
+	Messages int64   `json:"messages"`
+	Bytes    int64   `json:"bytes"`
+
+	Faults        int   `json:"faults,omitempty"`
+	DiffRequests  int   `json:"diff_requests,omitempty"`
+	DiffsApplied  int   `json:"diffs_applied,omitempty"`
+	DiffBytes     int64 `json:"diff_bytes,omitempty"`
+	LockWaitNS    int64 `json:"lock_wait_ns,omitempty"`
+	BarrierWaitNS int64 `json:"barrier_wait_ns,omitempty"`
+}
+
+// Time returns the modeled wall-clock as a sim.Time.
+func (r Record) Time() sim.Time { return sim.Time(r.TimeNS) }
+
+// Kilobytes reports Bytes in units of 1000 bytes (the paper's
+// "Kilobytes") — the one definition every rendered table uses.
+func (r Record) Kilobytes() float64 { return float64(r.Bytes) / 1000 }
+
+// recordOf flattens one run result into a Record.
+func recordOf(app core.App, b core.Backend, sc core.Scenario, res core.Result) Record {
+	return Record{
+		App:      app.Name(),
+		Figure:   app.Figure(),
+		Problem:  app.Problem(),
+		Backend:  b.Name(),
+		Scenario: sc.Name,
+		Procs:    sc.Procs,
+
+		TimeNS:   int64(res.Time),
+		Seconds:  res.Time.Seconds(),
+		Messages: res.Net.Messages,
+		Bytes:    res.Net.Bytes,
+
+		Faults:        res.Faults,
+		DiffRequests:  res.DiffRequests,
+		DiffsApplied:  res.DiffsApplied,
+		DiffBytes:     res.DiffBytes,
+		LockWaitNS:    int64(res.LockWait),
+		BarrierWaitNS: int64(res.BarrierWait),
+	}
+}
+
+// Grid is a declarative experiment plan: the cross product of apps,
+// backends and scenarios.  Scenario-independent backends (the sequential
+// baseline) run once per app at one processor, not once per scenario.
+type Grid struct {
+	Apps      []core.App
+	Backends  []core.Backend
+	Scenarios []core.Scenario
+}
+
+// Run executes the grid in deterministic order — apps outermost (registry
+// order), then backends, then scenarios — and returns one record per run.
+// The first failing run aborts the grid.
+func (g Grid) Run() ([]Record, error) {
+	if len(g.Scenarios) == 0 {
+		for _, b := range g.Backends {
+			if !core.IsBaseline(b) {
+				return nil, fmt.Errorf("grid: backend %q needs scenarios, none given", b.Name())
+			}
+		}
+	}
+	var recs []Record
+	for _, app := range g.Apps {
+		for _, b := range g.Backends {
+			if core.IsBaseline(b) {
+				sc := core.Base(1)
+				res, err := b.Run(app, sc)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s: %w", app.Name(), b.Name(), err)
+				}
+				recs = append(recs, recordOf(app, b, sc, res))
+				continue
+			}
+			for _, sc := range g.Scenarios {
+				res, err := b.Run(app, sc)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/%s n=%d: %w", app.Name(), b.Name(), sc.Name, sc.Procs, err)
+				}
+				recs = append(recs, recordOf(app, b, sc, res))
+			}
+		}
+	}
+	return recs, nil
+}
+
+// WriteJSON emits the records as a JSON array (one object per run).
+func WriteJSON(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// csvHeader is the fixed CSV column order.
+var csvHeader = []string{
+	"app", "figure", "problem", "backend", "scenario", "procs",
+	"time_ns", "seconds", "messages", "bytes",
+	"faults", "diff_requests", "diffs_applied", "diff_bytes",
+	"lock_wait_ns", "barrier_wait_ns",
+}
+
+// WriteCSV emits the records as CSV with a header row.
+func WriteCSV(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		row := []string{
+			r.App, strconv.Itoa(r.Figure), r.Problem, r.Backend, r.Scenario,
+			strconv.Itoa(r.Procs),
+			strconv.FormatInt(r.TimeNS, 10),
+			strconv.FormatFloat(r.Seconds, 'g', -1, 64),
+			strconv.FormatInt(r.Messages, 10),
+			strconv.FormatInt(r.Bytes, 10),
+			strconv.Itoa(r.Faults),
+			strconv.Itoa(r.DiffRequests),
+			strconv.Itoa(r.DiffsApplied),
+			strconv.FormatInt(r.DiffBytes, 10),
+			strconv.FormatInt(r.LockWaitNS, 10),
+			strconv.FormatInt(r.BarrierWaitNS, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,12 +1,30 @@
-// Package harness is the experiment registry: one entry per table and
-// figure of the paper's evaluation section.  Each experiment knows how to
-// run its workload sequentially, under TreadMarks, and under PVM, at any
-// processor count, and how to render the same rows and series the paper
-// reports (Table 1, Table 2, Figures 1-12).
+// Package harness is the experiment surface of the reproduction: a
+// registry of the paper's twelve applications and a data-driven grid
+// runner that crosses them with backends and scenarios.
+//
+// # Architecture
+//
+// Three core types (internal/core) make configurations declarative:
+//
+//   - core.App — one application/input combination, implemented once by
+//     its package under internal/apps.  The registry (Apps) returns all
+//     twelve in the paper's figure order, configured at a workload scale.
+//   - core.Backend — adapts an App to one system.  The standard adapters
+//     are core.Seq, core.TMK and core.PVM; Variants() adds derived
+//     ablations such as PVM-with-XDR.  A new backend is one value.
+//   - core.Scenario — one point in configuration space: processor count,
+//     network cost model, DSM cost model, PVM placement and cost-model
+//     overrides.  scenarios.go provides the stock axes (base testbed,
+//     page-size sweep, link-bandwidth sweep, co-located master).
+//
+// A Grid is the cross product apps × backends × scenarios; Grid.Run
+// executes it and emits one structured Record per run.  Everything else —
+// the rendered Table 1/Table 2, the speedup figures, the goldens pinned
+// in golden_test.go, cmd/goldgen, cmd/msvdsm's JSON/CSV output and the
+// ablation studies — consumes the same records.
 package harness
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 
@@ -20,243 +38,43 @@ import (
 	"repro/internal/apps/tsp"
 	"repro/internal/apps/water"
 	"repro/internal/core"
-	"repro/internal/sim"
-	"repro/internal/stats"
 )
 
-// Runner abstracts one application/input combination.
-type Runner struct {
-	Name    string // e.g. "SOR-Zero"
-	Figure  int    // paper figure number
-	Problem string // problem-size description (Table 1 column)
-
-	Seq func() (core.Result, error)
-	TMK func(nprocs int) (core.Result, error)
-	PVM func(nprocs int) (core.Result, error)
-}
-
-// Experiments returns the registry in the paper's figure order.
+// Apps returns the registry in the paper's figure order (Figures 1-12).
 // scale < 1 shrinks the workloads (quick mode); 1.0 is paper scale.
-func Experiments(scale float64) []Runner {
-	shrink := func(n, min int) int {
-		v := int(float64(n) * scale)
-		if v < min {
-			return min
-		}
-		return v
+func Apps(scale float64) []core.App {
+	var apps []core.App
+	for _, pkg := range []func(float64) []core.App{
+		ep.Apps, sor.Apps, is.Apps, tsp.Apps, qsort.Apps,
+		water.Apps, barnes.Apps, fft.Apps, ilink.Apps,
+	} {
+		apps = append(apps, pkg(scale)...)
 	}
-
-	epCfg := ep.Paper()
-	epCfg.Pairs = shrink(epCfg.Pairs, 1<<12)
-
-	sorZ, sorNZ := sor.Paper(true), sor.Paper(false)
-	sorZ.M = shrink(sorZ.M, 32)
-	sorZ.Sweeps = shrink(sorZ.Sweeps, 4)
-	sorNZ.M = shrink(sorNZ.M, 32)
-	sorNZ.Sweeps = shrink(sorNZ.Sweeps, 4)
-
-	isS, isL := is.PaperSmall(), is.PaperLarge()
-	isS.Keys = shrink(isS.Keys, 1<<12)
-	isS.Iters = shrink(isS.Iters, 2)
-	isL.Keys = shrink(isL.Keys, 1<<12)
-	isL.Iters = shrink(isL.Iters, 2)
-
-	tspCfg := tsp.Paper()
-	if scale < 1 {
-		tspCfg.Cities = 12
-		tspCfg.Threshold = 8
-	}
-
-	qsCfg := qsort.Paper()
-	qsCfg.N = shrink(qsCfg.N, 1<<12)
-	qsCfg.Threshold = shrink(qsCfg.Threshold, 64)
-
-	w288, w1728 := water.Paper288(), water.Paper1728()
-	w288.Steps = shrink(w288.Steps, 2)
-	w1728.Steps = shrink(w1728.Steps, 1)
-	if scale < 1 {
-		w1728.Mols = 512
-	}
-
-	bhCfg := barnes.Paper()
-	bhCfg.Bodies = shrink(bhCfg.Bodies, 128)
-	bhCfg.Steps = shrink(bhCfg.Steps, 2)
-
-	fftCfg := fft.Paper()
-	if scale < 1 {
-		fftCfg.N = 16
-	}
-	fftCfg.Iters = shrink(fftCfg.Iters, 2)
-
-	ilCfg := ilink.Paper()
-	ilCfg.Families = shrink(ilCfg.Families, 2)
-
-	return []Runner{
-		{
-			Name: "EP", Figure: 1, Problem: fmt.Sprintf("2^28 pairs (model), %d generated", epCfg.Pairs),
-			Seq: func() (core.Result, error) { r, _, err := ep.RunSeq(epCfg); return r, err },
-			TMK: func(n int) (core.Result, error) { r, _, err := ep.RunTMK(epCfg, core.Default(n)); return r, err },
-			PVM: func(n int) (core.Result, error) { r, _, err := ep.RunPVM(epCfg, core.Default(n)); return r, err },
-		},
-		{
-			Name: "SOR-Zero", Figure: 2, Problem: fmt.Sprintf("%dx%d f64, %d sweeps, zero", sorZ.M, sorZ.N, sorZ.Sweeps),
-			Seq: func() (core.Result, error) { r, _, err := sor.RunSeq(sorZ); return r, err },
-			TMK: func(n int) (core.Result, error) { r, _, err := sor.RunTMK(sorZ, core.Default(n)); return r, err },
-			PVM: func(n int) (core.Result, error) { r, _, err := sor.RunPVM(sorZ, core.Default(n)); return r, err },
-		},
-		{
-			Name: "SOR-Nonzero", Figure: 3, Problem: fmt.Sprintf("%dx%d f64, %d sweeps, nonzero", sorNZ.M, sorNZ.N, sorNZ.Sweeps),
-			Seq: func() (core.Result, error) { r, _, err := sor.RunSeq(sorNZ); return r, err },
-			TMK: func(n int) (core.Result, error) { r, _, err := sor.RunTMK(sorNZ, core.Default(n)); return r, err },
-			PVM: func(n int) (core.Result, error) { r, _, err := sor.RunPVM(sorNZ, core.Default(n)); return r, err },
-		},
-		{
-			Name: "IS-Small", Figure: 4, Problem: fmt.Sprintf("N=%d Bmax=2^7, %d iters", isS.Keys, isS.Iters),
-			Seq: func() (core.Result, error) { r, _, err := is.RunSeq(isS); return r, err },
-			TMK: func(n int) (core.Result, error) { r, _, err := is.RunTMK(isS, core.Default(n)); return r, err },
-			PVM: func(n int) (core.Result, error) { r, _, err := is.RunPVM(isS, core.Default(n)); return r, err },
-		},
-		{
-			Name: "IS-Large", Figure: 5, Problem: fmt.Sprintf("N=%d Bmax=2^15, %d iters", isL.Keys, isL.Iters),
-			Seq: func() (core.Result, error) { r, _, err := is.RunSeq(isL); return r, err },
-			TMK: func(n int) (core.Result, error) { r, _, err := is.RunTMK(isL, core.Default(n)); return r, err },
-			PVM: func(n int) (core.Result, error) { r, _, err := is.RunPVM(isL, core.Default(n)); return r, err },
-		},
-		{
-			Name: "TSP", Figure: 6, Problem: fmt.Sprintf("%d cities, threshold %d", tspCfg.Cities, tspCfg.Threshold),
-			Seq: func() (core.Result, error) { r, _, err := tsp.RunSeq(tspCfg); return r, err },
-			TMK: func(n int) (core.Result, error) { r, _, err := tsp.RunTMK(tspCfg, core.Default(n)); return r, err },
-			PVM: func(n int) (core.Result, error) { r, _, err := tsp.RunPVM(tspCfg, core.Default(n)); return r, err },
-		},
-		{
-			Name: "QSORT", Figure: 7, Problem: fmt.Sprintf("%dK integers, bubble %d", qsCfg.N/1024, qsCfg.Threshold),
-			Seq: func() (core.Result, error) { r, _, err := qsort.RunSeq(qsCfg); return r, err },
-			TMK: func(n int) (core.Result, error) { r, _, err := qsort.RunTMK(qsCfg, core.Default(n)); return r, err },
-			PVM: func(n int) (core.Result, error) { r, _, err := qsort.RunPVM(qsCfg, core.Default(n)); return r, err },
-		},
-		{
-			Name: "Water-288", Figure: 8, Problem: fmt.Sprintf("%d molecules, %d steps", w288.Mols, w288.Steps),
-			Seq: func() (core.Result, error) { r, _, err := water.RunSeq(w288); return r, err },
-			TMK: func(n int) (core.Result, error) { r, _, err := water.RunTMK(w288, core.Default(n)); return r, err },
-			PVM: func(n int) (core.Result, error) { r, _, err := water.RunPVM(w288, core.Default(n)); return r, err },
-		},
-		{
-			Name: "Water-1728", Figure: 9, Problem: fmt.Sprintf("%d molecules, %d steps", w1728.Mols, w1728.Steps),
-			Seq: func() (core.Result, error) { r, _, err := water.RunSeq(w1728); return r, err },
-			TMK: func(n int) (core.Result, error) { r, _, err := water.RunTMK(w1728, core.Default(n)); return r, err },
-			PVM: func(n int) (core.Result, error) { r, _, err := water.RunPVM(w1728, core.Default(n)); return r, err },
-		},
-		{
-			Name: "Barnes-Hut", Figure: 10, Problem: fmt.Sprintf("%d bodies, %d steps", bhCfg.Bodies, bhCfg.Steps),
-			Seq: func() (core.Result, error) { r, _, err := barnes.RunSeq(bhCfg); return r, err },
-			TMK: func(n int) (core.Result, error) { r, _, err := barnes.RunTMK(bhCfg, core.Default(n)); return r, err },
-			PVM: func(n int) (core.Result, error) { r, _, err := barnes.RunPVM(bhCfg, core.Default(n)); return r, err },
-		},
-		{
-			Name: "3D-FFT", Figure: 11, Problem: fmt.Sprintf("%d^3 complex, %d iters", fftCfg.N, fftCfg.Iters),
-			Seq: func() (core.Result, error) { r, _, err := fft.RunSeq(fftCfg); return r, err },
-			TMK: func(n int) (core.Result, error) { r, _, err := fft.RunTMK(fftCfg, core.Default(n)); return r, err },
-			PVM: func(n int) (core.Result, error) { r, _, err := fft.RunPVM(fftCfg, core.Default(n)); return r, err },
-		},
-		{
-			Name: "ILINK", Figure: 12, Problem: fmt.Sprintf("synthetic CLP, %d families", ilCfg.Families),
-			Seq: func() (core.Result, error) { r, _, err := ilink.RunSeq(ilCfg); return r, err },
-			TMK: func(n int) (core.Result, error) { r, _, err := ilink.RunTMK(ilCfg, core.Default(n)); return r, err },
-			PVM: func(n int) (core.Result, error) { r, _, err := ilink.RunPVM(ilCfg, core.Default(n)); return r, err },
-		},
-	}
+	sort.SliceStable(apps, func(i, j int) bool { return apps[i].Figure() < apps[j].Figure() })
+	return apps
 }
 
-// Find returns the runner whose name matches (case-insensitive,
+// Find returns the app whose name matches (case-insensitive,
 // punctuation-insensitive), or nil.
-func Find(runners []Runner, name string) *Runner {
+func Find(apps []core.App, name string) core.App {
 	canon := func(s string) string {
 		s = strings.ToLower(s)
 		s = strings.NewReplacer("-", "", "_", "", " ", "").Replace(s)
 		return s
 	}
-	for i := range runners {
-		if canon(runners[i].Name) == canon(name) {
-			return &runners[i]
+	for _, a := range apps {
+		if canon(a.Name()) == canon(name) {
+			return a
 		}
 	}
 	return nil
 }
 
-// Table1 renders the sequential-times table.
-func Table1(runners []Runner) (string, error) {
-	tbl := stats.Table{
-		Title:  "Table 1  Sequential Time of Applications (modeled)",
-		Header: []string{"Program", "Problem Size", "Time(sec)"},
-	}
-	for _, r := range runners {
-		res, err := r.Seq()
-		if err != nil {
-			return "", fmt.Errorf("%s: %w", r.Name, err)
-		}
-		tbl.AddRow(r.Name, r.Problem, fmt.Sprintf("%.1f", res.Time.Seconds()))
-	}
-	return tbl.Render(), nil
-}
-
-// Table2 renders messages and kilobytes at 8 processors for both systems.
-func Table2(runners []Runner) (string, error) {
-	tbl := stats.Table{
-		Title: "Table 2  Messages and Data at 8 Processors",
-		Header: []string{"Program", "TMK Messages", "TMK Kilobytes",
-			"PVM Messages", "PVM Kilobytes"},
-	}
-	for _, r := range runners {
-		tres, err := r.TMK(8)
-		if err != nil {
-			return "", fmt.Errorf("%s tmk: %w", r.Name, err)
-		}
-		pres, err := r.PVM(8)
-		if err != nil {
-			return "", fmt.Errorf("%s pvm: %w", r.Name, err)
-		}
-		tbl.AddRow(r.Name,
-			fmt.Sprintf("%d", tres.Net.Messages), fmt.Sprintf("%.0f", tres.Net.Kilobytes()),
-			fmt.Sprintf("%d", pres.Net.Messages), fmt.Sprintf("%.0f", pres.Net.Kilobytes()))
-	}
-	return tbl.Render(), nil
-}
-
-// FigureData computes the speedup curves (1..maxProcs) for one runner.
-func FigureData(r *Runner, maxProcs int) (stats.Figure, error) {
-	seq, err := r.Seq()
-	if err != nil {
-		return stats.Figure{}, fmt.Errorf("%s seq: %w", r.Name, err)
-	}
-	var xs []int
-	var tmkT, pvmT []sim.Time
-	for n := 1; n <= maxProcs; n++ {
-		tres, err := r.TMK(n)
-		if err != nil {
-			return stats.Figure{}, fmt.Errorf("%s tmk n=%d: %w", r.Name, n, err)
-		}
-		pres, err := r.PVM(n)
-		if err != nil {
-			return stats.Figure{}, fmt.Errorf("%s pvm n=%d: %w", r.Name, n, err)
-		}
-		xs = append(xs, n)
-		tmkT = append(tmkT, tres.Time)
-		pvmT = append(pvmT, pres.Time)
-	}
-	return stats.Figure{
-		Title: fmt.Sprintf("Figure %d  %s", r.Figure, r.Name),
-		Series: []stats.Series{
-			{Name: "TreadMarks", X: xs, Y: stats.Speedup(seq.Time, tmkT)},
-			{Name: "PVM", X: xs, Y: stats.Speedup(seq.Time, pvmT)},
-		},
-	}, nil
-}
-
 // Names lists the registered experiment names.
-func Names(runners []Runner) []string {
+func Names(apps []core.App) []string {
 	var out []string
-	for _, r := range runners {
-		out = append(out, r.Name)
+	for _, a := range apps {
+		out = append(out, a.Name())
 	}
 	sort.Strings(out)
 	return out

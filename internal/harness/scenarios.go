@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/vnet"
+)
+
+// This file declares the stock scenario axes.  A scenario is data: adding
+// a sweep here (or in a caller) changes no application code and no
+// backend code — the grid crosses whatever it is given.
+
+// BaseScenarios returns the paper's testbed at each processor count.
+func BaseScenarios(procs ...int) []core.Scenario {
+	var out []core.Scenario
+	for _, n := range procs {
+		out = append(out, core.Base(n))
+	}
+	return out
+}
+
+// PageSizeScenarios sweeps the DSM page size (granularity of false
+// sharing) at a fixed processor count.  The paper's testbed uses 4 KB.
+func PageSizeScenarios(nprocs int, sizes ...int) []core.Scenario {
+	if len(sizes) == 0 {
+		sizes = []int{1024, 2048, 4096, 8192, 16384}
+	}
+	var out []core.Scenario
+	for _, ps := range sizes {
+		sc := core.Base(nprocs)
+		sc.Name = fmt.Sprintf("page=%d", ps)
+		sc.DSM.PageSize = ps
+		out = append(out, sc)
+	}
+	return out
+}
+
+// MTUScenarios sweeps the transport MTU (fragmentation of multi-page
+// diff responses) at a fixed processor count.
+func MTUScenarios(nprocs int, mtus ...int) []core.Scenario {
+	if len(mtus) == 0 {
+		mtus = []int{4096, 16384, 65536}
+	}
+	var out []core.Scenario
+	for _, mtu := range mtus {
+		sc := core.Base(nprocs)
+		sc.Name = fmt.Sprintf("mtu=%d", mtu)
+		sc.Net.MTU = mtu
+		out = append(out, sc)
+	}
+	return out
+}
+
+// BandwidthScenarios compares the paper's 100 Mbit/s FDDI against a
+// 10 Mbit/s Ethernet at a fixed processor count: the link-bandwidth
+// sensitivity of the DSM-versus-message-passing gap.
+func BandwidthScenarios(nprocs int) []core.Scenario {
+	fddi := core.Base(nprocs)
+	fddi.Name = "fddi"
+	eth := core.Base(nprocs)
+	eth.Name = "eth10"
+	eth.Net = vnet.Ethernet10()
+	return []core.Scenario{fddi, eth}
+}
+
+// ColocatedScenario places the PVM master (for master/slave apps) on
+// node 0 with slave 0, as in the paper's physical arrangement: their
+// traffic crosses loopback and disappears from the message counts.
+func ColocatedScenario(nprocs int) core.Scenario {
+	sc := core.Base(nprocs)
+	sc.Name = "colocated"
+	sc.MasterColocated = true
+	return sc
+}
+
+// scenarioSets is the single registry of named scenario axes: the CLI
+// lists its keys and ScenarioSet resolves against it, so a new axis is
+// one entry here.
+var scenarioSets = []struct {
+	name   string
+	expand func(nprocs int) []core.Scenario
+}{
+	{"base", func(n int) []core.Scenario { return []core.Scenario{core.Base(n)} }},
+	{"page", func(n int) []core.Scenario { return PageSizeScenarios(n) }},
+	{"mtu", func(n int) []core.Scenario { return MTUScenarios(n) }},
+	{"bw", BandwidthScenarios},
+	{"colocated", func(n int) []core.Scenario { return []core.Scenario{ColocatedScenario(n)} }},
+}
+
+// ScenarioSets lists the registered scenario-axis names.
+func ScenarioSets() []string {
+	var out []string
+	for _, s := range scenarioSets {
+		out = append(out, s.name)
+	}
+	return out
+}
+
+// ScenarioSet resolves a named scenario axis at the given processor
+// counts — the CLI's scenario-selection surface.  Sweep axes expand at
+// each count.
+func ScenarioSet(name string, procs []int) ([]core.Scenario, error) {
+	for _, s := range scenarioSets {
+		if s.name != name {
+			continue
+		}
+		var out []core.Scenario
+		for _, n := range procs {
+			out = append(out, s.expand(n)...)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unknown scenario set %q (have %v)", name, ScenarioSets())
+}

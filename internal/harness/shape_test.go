@@ -1,6 +1,9 @@
 package harness
 
 import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -10,41 +13,41 @@ import (
 
 // The shape tests verify the paper's qualitative claims end to end on
 // reduced-scale workloads.  Detailed per-application shape checks live in
-// each application package; these cover the registry plumbing and the
-// cross-application orderings the paper's summary calls out.
+// each application package; these cover the registry plumbing, the grid
+// runner, and the cross-application orderings the paper's summary calls
+// out.
 
 func TestRegistryComplete(t *testing.T) {
-	runners := Experiments(0.01)
-	if len(runners) != 12 {
-		t.Fatalf("got %d experiments, want 12 (figures 1-12)", len(runners))
+	apps := Apps(0.01)
+	if len(apps) != 12 {
+		t.Fatalf("got %d experiments, want 12 (figures 1-12)", len(apps))
 	}
 	seen := map[int]bool{}
-	for _, r := range runners {
-		if r.Figure < 1 || r.Figure > 12 || seen[r.Figure] {
-			t.Fatalf("bad figure number %d for %s", r.Figure, r.Name)
+	for _, a := range apps {
+		if a.Figure() < 1 || a.Figure() > 12 || seen[a.Figure()] {
+			t.Fatalf("bad figure number %d for %s", a.Figure(), a.Name())
 		}
-		seen[r.Figure] = true
-		if r.Seq == nil || r.TMK == nil || r.PVM == nil {
-			t.Fatalf("%s: missing runner function", r.Name)
+		seen[a.Figure()] = true
+		if a.Problem() == "" {
+			t.Fatalf("%s: empty problem description", a.Name())
 		}
 	}
 }
 
 func TestFind(t *testing.T) {
-	runners := Experiments(0.01)
+	apps := Apps(0.01)
 	for _, name := range []string{"sor-zero", "SOR Zero", "sorzero", "IS-Large", "3d-fft", "Water-288"} {
-		if Find(runners, name) == nil {
+		if Find(apps, name) == nil {
 			t.Errorf("Find(%q) = nil", name)
 		}
 	}
-	if Find(runners, "nosuch") != nil {
+	if Find(apps, "nosuch") != nil {
 		t.Error("Find of unknown name should be nil")
 	}
 }
 
 func TestTable1Renders(t *testing.T) {
-	runners := Experiments(0.01)
-	out, err := Table1(runners)
+	out, err := Table1(Apps(0.01))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,8 +62,7 @@ func TestTable2Renders(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs all apps at 8 procs")
 	}
-	runners := Experiments(0.01)
-	out, err := Table2(runners)
+	out, err := Table2(Apps(0.01))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,9 +74,8 @@ func TestTable2Renders(t *testing.T) {
 }
 
 func TestFigureDataShape(t *testing.T) {
-	runners := Experiments(0.01)
-	r := Find(runners, "EP")
-	fig, err := FigureData(r, 4)
+	apps := Apps(0.01)
+	fig, err := FigureData(Find(apps, "EP"), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,17 +100,17 @@ func TestSummaryOrderings(t *testing.T) {
 	if testing.Short() {
 		t.Skip("mid-scale sweep")
 	}
-	runners := Experiments(0.25)
+	apps := Apps(0.25)
 	gap := func(name string) float64 {
-		r := Find(runners, name)
-		if r == nil {
+		app := Find(apps, name)
+		if app == nil {
 			t.Fatalf("missing %s", name)
 		}
-		tres, err := r.TMK(8)
+		tres, err := core.TMK.Run(app, core.Base(8))
 		if err != nil {
 			t.Fatalf("%s tmk: %v", name, err)
 		}
-		pres, err := r.PVM(8)
+		pres, err := core.PVM.Run(app, core.Base(8))
 		if err != nil {
 			t.Fatalf("%s pvm: %v", name, err)
 		}
@@ -147,21 +148,144 @@ func TestPageSizeAblationMonotone(t *testing.T) {
 	if testing.Short() {
 		t.Skip("8-proc sweeps")
 	}
-	msgs := map[int]int64{}
 	cfg := sor.Paper(false)
 	cfg.M = 128
 	cfg.Sweeps = 10
-	for _, ps := range []int{1024, 4096} {
-		ccfg := core.Default(8)
-		ccfg.DSM.PageSize = ps
-		res, _, err := sor.RunTMK(cfg, ccfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		msgs[ps] = res.Net.Messages
+	recs, err := Grid{
+		Apps:      []core.App{sor.NewApp(cfg)},
+		Backends:  []core.Backend{core.TMK},
+		Scenarios: PageSizeScenarios(8, 1024, 4096),
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
 	}
-	if msgs[1024] <= msgs[4096] {
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].Messages <= recs[1].Messages {
 		t.Fatalf("1KB pages sent %d msgs, 4KB %d: want more with smaller pages",
-			msgs[1024], msgs[4096])
+			recs[0].Messages, recs[1].Messages)
+	}
+}
+
+// TestGridRecordsJSONRoundTrip pins the structured output surface: grid
+// records survive a JSON encode/decode and a CSV encode with consistent
+// geometry — the contract cmd/msvdsm's -format json|csv rides on.
+func TestGridRecordsJSONRoundTrip(t *testing.T) {
+	apps := Apps(0.01)
+	recs, err := Grid{
+		Apps:      []core.App{Find(apps, "EP")},
+		Backends:  core.StandardBackends(),
+		Scenarios: BaseScenarios(2),
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 { // seq baseline once + tmk + pvm
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	var back []Record
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("records do not decode: %v", err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip lost records: %d vs %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Fatalf("record %d changed in round trip:\n  out %+v\n  in  %+v", i, recs[i], back[i])
+		}
+	}
+	buf.Reset()
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV does not parse: %v", err)
+	}
+	if len(rows) != len(recs)+1 {
+		t.Fatalf("CSV rows = %d, want %d", len(rows), len(recs)+1)
+	}
+	for i, row := range rows {
+		if len(row) != len(csvHeader) {
+			t.Fatalf("CSV row %d has %d fields, want %d", i, len(row), len(csvHeader))
+		}
+	}
+}
+
+// TestExtensibilityEndToEnd is the redesign's acceptance check: a new
+// scenario axis (page-size and bandwidth sweeps) and a derived backend
+// variant (pvm-xdr) run through the same grid with zero edits inside
+// internal/apps — and the variant's cost shows up in the records.
+func TestExtensibilityEndToEnd(t *testing.T) {
+	apps := Apps(0.01)
+	scenarios := append(PageSizeScenarios(2, 1024, 4096), BandwidthScenarios(2)...)
+	xdr, err := FindBackend("pvm-xdr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Grid{
+		Apps:      []core.App{Find(apps, "SOR-Nonzero")},
+		Backends:  []core.Backend{core.TMK, core.PVM, xdr},
+		Scenarios: scenarios,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * len(scenarios); len(recs) != want {
+		t.Fatalf("got %d records, want %d", len(recs), want)
+	}
+	byKey := func(backend, scenario string) Record {
+		for _, r := range recs {
+			if r.Backend == backend && r.Scenario == scenario {
+				return r
+			}
+		}
+		t.Fatalf("no record for %s/%s", backend, scenario)
+		return Record{}
+	}
+	// XDR conversion costs CPU: same traffic, more time than plain PVM.
+	plain := byKey("pvm", "page=4096")
+	conv := byKey("pvm-xdr", "page=4096")
+	if conv.Messages != plain.Messages || conv.Bytes != plain.Bytes {
+		t.Errorf("xdr changed traffic: %+v vs %+v", conv, plain)
+	}
+	if conv.TimeNS <= plain.TimeNS {
+		t.Errorf("xdr should cost time: %d <= %d", conv.TimeNS, plain.TimeNS)
+	}
+	// The slower link slows TreadMarks down.
+	if fddi, eth := byKey("tmk", "fddi"), byKey("tmk", "eth10"); eth.TimeNS <= fddi.TimeNS {
+		t.Errorf("eth10 should be slower than fddi: %d <= %d", eth.TimeNS, fddi.TimeNS)
+	}
+}
+
+// TestAppBackendConformance runs every registered app under every
+// registered backend on a tiny workload and checks its output against
+// the app's own sequential run — the cross-product correctness net the
+// App/Backend split makes possible.
+func TestAppBackendConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full app x backend cross product")
+	}
+	for _, app := range Apps(0.01) {
+		if _, err := core.Seq.Run(app, core.Base(1)); err != nil {
+			t.Fatalf("%s seq: %v", app.Name(), err)
+		}
+		for _, b := range Backends() {
+			if core.IsBaseline(b) {
+				continue
+			}
+			if _, err := b.Run(app, core.Base(2)); err != nil {
+				t.Fatalf("%s/%s: %v", app.Name(), b.Name(), err)
+			}
+			if err := app.Check(); err != nil {
+				t.Errorf("%s/%s output check: %v", app.Name(), b.Name(), err)
+			}
+		}
 	}
 }

@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// This file registers backend variants: ablations derived from the
+// standard adapters by rewriting the scenario.  Each is one value — no
+// application package changes, no new adapter code.
+
+// PVMXDR is PVM as it would run on a heterogeneous cluster: every pack
+// and unpack pays external-data-representation conversion.  The paper
+// disables XDR (identical machines) and notes the conversion cost would
+// otherwise narrow PVM's advantage on data-heavy applications.
+var PVMXDR = core.Variant("pvm-xdr", core.PVM, func(sc core.Scenario) core.Scenario {
+	sc.XDRPerByte = 100 * sim.Nanosecond
+	return sc
+})
+
+// TMKSmallPage is TreadMarks on 1 KB pages: four times the faults and
+// diff exchanges for the same sharing, isolating the page-granularity
+// term of the DSM overhead.
+var TMKSmallPage = core.Variant("tmk-1k", core.TMK, func(sc core.Scenario) core.Scenario {
+	sc.DSM.PageSize = 1024
+	return sc
+})
+
+// Backends returns every registered backend: the standard adapters in
+// reporting order, then the variants.
+func Backends() []core.Backend {
+	return append(core.StandardBackends(), PVMXDR, TMKSmallPage)
+}
+
+// FindBackend resolves a backend by name.
+func FindBackend(name string) (core.Backend, error) {
+	for _, b := range Backends() {
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	var have []string
+	for _, b := range Backends() {
+		have = append(have, b.Name())
+	}
+	return nil, fmt.Errorf("unknown backend %q (have %v)", name, have)
+}

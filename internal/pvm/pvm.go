@@ -73,12 +73,35 @@ func (s *System) Spawn(id int, body func(*Proc)) {
 }
 
 // SpawnExtra registers an additional process (id ≥ n), such as the master
-// in a master/slave decomposition.  It returns the new process id.
-// The extra process gets its own endpoint; like the paper's co-located
-// master it exchanges real messages with every slave.
+// in a master/slave decomposition, on a fresh node of its own.  It
+// returns the new process id.  The extra process gets its own endpoint
+// and exchanges real messages with every slave.
 func (s *System) SpawnExtra(name string, body func(*Proc)) int {
+	return s.SpawnExtraAt(name, -1, body)
+}
+
+// SpawnExtraAt registers an additional process placed on the given node:
+// -1 means a fresh node of its own (SpawnExtra), while an existing node
+// id co-locates the process with that node's regular process — traffic
+// between the two crosses loopback, costs almost nothing and is not
+// counted as user messages, modeling the paper's master sharing a
+// workstation with slave 0.  Addressing is by process id either way:
+// sends name the process, receives match whatever node it sits on.
+//
+// Co-location weakens sender identity: messages carry the node, so a
+// receiver cannot tell the extra process from the regular process it
+// shares a node with — Recv(src, tag) with src naming either matches
+// both, and Buffer.Src() reports the shared node.  Protocols must
+// disambiguate by tag (master-bound and slave-bound tags disjoint, as in
+// TSP and QSORT) and must not dispatch on Src() where both could send.
+func (s *System) SpawnExtraAt(name string, node int, body func(*Proc)) int {
 	id := len(s.eps)
-	ep := s.net.NewEndpoint(id, false)
+	if node < 0 {
+		node = id
+	} else if node >= s.n {
+		panic(fmt.Sprintf("pvm: extra process placed on unknown node %d", node))
+	}
+	ep := s.net.NewEndpoint(node, false)
 	s.eps = append(s.eps, ep)
 	p := &Proc{sys: s, id: id, ep: ep}
 	s.eng.Spawn(name, false, func(c *sim.Ctx) {
@@ -108,6 +131,18 @@ type Proc struct {
 	ep   *vnet.Endpoint
 	ctx  *sim.Ctx
 	send *Buffer
+
+	// sendHint estimates this process's next message size from the sizes
+	// it has dispatched.  Applications send the same message shapes over
+	// and over (boundary rows, force blocks, count arrays), so presizing
+	// the next send buffer eliminates the repeated grow-and-copy
+	// reallocations on the pack path.  Send buffers cannot be pooled
+	// outright — their bytes are handed to the transport without a copy
+	// — but their capacity is known in advance.  The hint rises to the
+	// observed size immediately and decays geometrically when messages
+	// shrink, so one huge send (QSORT's initial full-array shipment)
+	// does not pin every later buffer at its capacity.
+	sendHint int
 }
 
 // ID returns the process id (0-based).
@@ -125,9 +160,13 @@ func (p *Proc) Now() sim.Time { return p.ctx.Now() }
 // Compute charges local computation time.
 func (p *Proc) Compute(d sim.Time) { p.ctx.Compute(d) }
 
-// InitSend clears and returns the process's send buffer (pvm_initsend).
+// InitSend clears and returns the process's send buffer (pvm_initsend),
+// presized to the largest message this process has dispatched so far.
 func (p *Proc) InitSend() *Buffer {
 	p.send = &Buffer{proc: p}
+	if p.sendHint > 0 {
+		p.send.data = make([]byte, 0, p.sendHint)
+	}
 	return p.send
 }
 
@@ -150,7 +189,18 @@ func (p *Proc) SendBuf() *Buffer {
 func (p *Proc) Send(dst, tag int) {
 	buf := p.SendBuf()
 	p.sys.checkDst(dst)
+	p.noteSent(len(buf.data))
 	p.ep.Send(p.ctx, p.sys.eps[dst], tag, buf.data)
+}
+
+// noteSent records a dispatched message size for InitSend presizing:
+// rise immediately, decay halfway toward smaller sizes.
+func (p *Proc) noteSent(n int) {
+	if n >= p.sendHint {
+		p.sendHint = n
+	} else {
+		p.sendHint -= (p.sendHint - n) / 2
+	}
 }
 
 // Mcast dispatches the current send buffer to each destination
@@ -158,6 +208,7 @@ func (p *Proc) Send(dst, tag int) {
 // Destinations share one payload; receive buffers never mutate it.
 func (p *Proc) Mcast(dsts []int, tag int) {
 	buf := p.SendBuf()
+	p.noteSent(len(buf.data))
 	for _, d := range dsts {
 		p.sys.checkDst(d)
 		p.ep.Send(p.ctx, p.sys.eps[d], tag, buf.data)
@@ -176,11 +227,22 @@ func (p *Proc) Bcast(tag int) {
 	p.Mcast(dsts, tag)
 }
 
+// srcNode maps a source process id to the node id its messages carry.
+// Regular processes sit on their own node (identity); an extra process
+// placed with SpawnExtraAt may share a node, so receives that name it by
+// process id must match on that node instead.
+func (p *Proc) srcNode(src int) int {
+	if src < 0 || src >= len(p.sys.eps) {
+		return src // wildcard (or out of range: let the filter never match)
+	}
+	return p.sys.eps[src].Node()
+}
+
 // Recv blocks until a message with the given source and tag arrives
 // (pvm_recv).  Negative src or tag match anything.  The returned buffer is
 // positioned for unpacking.
 func (p *Proc) Recv(src, tag int) *Buffer {
-	m := p.ep.Recv(p.ctx, src, tag)
+	m := p.ep.Recv(p.ctx, p.srcNode(src), tag)
 	return &Buffer{proc: p, data: m.Payload, src: m.From, tag: m.Tag}
 }
 
@@ -188,7 +250,7 @@ func (p *Proc) Recv(src, tag int) *Buffer {
 // matching message has arrived yet, allowing the caller to overlap useful
 // work with communication.
 func (p *Proc) NRecv(src, tag int) *Buffer {
-	m := p.ep.TryRecv(p.ctx, src, tag)
+	m := p.ep.TryRecv(p.ctx, p.srcNode(src), tag)
 	if m == nil {
 		return nil
 	}
@@ -197,7 +259,7 @@ func (p *Proc) NRecv(src, tag int) *Buffer {
 
 // Probe reports whether a matching message has arrived (pvm_probe).
 func (p *Proc) Probe(src, tag int) bool {
-	return p.ep.Probe(p.ctx, src, tag)
+	return p.ep.Probe(p.ctx, p.srcNode(src), tag)
 }
 
 func (s *System) checkDst(dst int) {

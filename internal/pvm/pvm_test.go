@@ -416,3 +416,87 @@ func TestFIFOBetweenPair(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestInitSendPresized pins the send-buffer presizing: after a message
+// has been dispatched, the next InitSend returns a buffer whose capacity
+// already covers a same-shaped message, so packing it never reallocates.
+func TestInitSendPresized(t *testing.T) {
+	eng, sys := newWorld(2)
+	vals := make([]float64, 512)
+	sys.Spawn(0, func(p *Proc) {
+		for round := 0; round < 3; round++ {
+			b := p.InitSend()
+			if round > 0 {
+				if got := cap(b.data); got < 5+8*len(vals) {
+					t.Errorf("round %d: InitSend cap = %d, want >= %d", round, got, 5+8*len(vals))
+				}
+				before := &b.data[:1][0]
+				b.PackFloat64(vals, len(vals), 1)
+				if &b.data[0] != before {
+					t.Errorf("round %d: pack reallocated a presized buffer", round)
+				}
+			} else {
+				b.PackFloat64(vals, len(vals), 1)
+			}
+			p.Send(1, 1)
+		}
+	})
+	sys.Spawn(1, func(p *Proc) {
+		got := make([]float64, len(vals))
+		for round := 0; round < 3; round++ {
+			r := p.Recv(0, 1)
+			r.UnpackFloat64(got, len(got), 1)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpawnExtraAtColocated pins the placement axis at the pvm layer: an
+// extra process on node 0 exchanges loopback (uncounted) messages with
+// the regular process there, and process-id addressing still works.
+func TestSpawnExtraAtColocated(t *testing.T) {
+	eng, sys := newWorld(2)
+	sys.Spawn(0, func(p *Proc) {
+		b := p.InitSend()
+		b.PackOneInt32(10)
+		p.Send(2, 1)
+		r := p.Recv(2, 2) // master by process id, though it sits on node 0
+		if got := r.UnpackOneInt32(); got != 11 {
+			t.Errorf("reply = %d, want 11", got)
+		}
+	})
+	sys.Spawn(1, func(p *Proc) {
+		b := p.InitSend()
+		b.PackOneInt32(20)
+		p.Send(2, 1)
+		r := p.Recv(2, 2)
+		if got := r.UnpackOneInt32(); got != 21 {
+			t.Errorf("reply = %d, want 21", got)
+		}
+	})
+	id := sys.SpawnExtraAt("master", 0, func(p *Proc) {
+		for i := 0; i < 2; i++ {
+			r := p.Recv(-1, 1)
+			v := r.UnpackOneInt32()
+			dst := 0
+			if v == 20 {
+				dst = 1
+			}
+			b := p.InitSend()
+			b.PackOneInt32(v + 1)
+			p.Send(dst, 2)
+		}
+	})
+	if id != 2 {
+		t.Fatalf("extra process id = %d, want 2", id)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Only the slave-1 exchanges cross the wire: 2 of 4 messages.
+	if got := sys.UserStats().Messages; got != 2 {
+		t.Errorf("counted messages = %d, want 2 (master/slave-0 is loopback)", got)
+	}
+}

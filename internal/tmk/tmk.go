@@ -414,6 +414,12 @@ type plock struct {
 type barrierState struct {
 	id      int
 	arrived []*barrMsg
+
+	// Redistribution scratch, reused across barriers: the merged union of
+	// the arrivals' record batches and the per-arrival merge cursors.
+	// Valid only inside handleBarrArrive's final-arrival step.
+	union []*IntervalRec
+	heads []int
 }
 
 // Proc is one TreadMarks processor.
@@ -765,6 +771,41 @@ func (p *Proc) Barrier(id int) {
 	p.lastMgrVC = dep.VC.Clone()
 }
 
+// mergeArrivalRecords head-merges the arrivals' record batches into a
+// sorted, deduplicated union.  Each batch must be in (Proc, Idx) order;
+// every head carrying the chosen key advances together, so a record
+// announced by several arrivals appears once.  union and heads are
+// caller-provided scratch (length zero) whose grown backing arrays are
+// returned for reuse.
+func mergeArrivalRecords(arrived []*barrMsg, union []*IntervalRec, heads []int) ([]*IntervalRec, []int) {
+	for range arrived {
+		heads = append(heads, 0)
+	}
+	for {
+		var best *IntervalRec
+		for i, a := range arrived {
+			if heads[i] == len(a.Records) {
+				continue
+			}
+			r := a.Records[heads[i]]
+			if best == nil || r.Proc < best.Proc || (r.Proc == best.Proc && r.Idx < best.Idx) {
+				best = r
+			}
+		}
+		if best == nil {
+			return union, heads
+		}
+		union = append(union, best)
+		for i, a := range arrived {
+			if heads[i] < len(a.Records) {
+				if r := a.Records[heads[i]]; r.Proc == best.Proc && r.Idx == best.Idx {
+					heads[i]++
+				}
+			}
+		}
+	}
+}
+
 // handleBarrArrive runs in processor 0's service daemon.
 func (p *Proc) handleBarrArrive(ctx *sim.Ctx, m *barrMsg) {
 	bs := p.barrier
@@ -777,27 +818,43 @@ func (p *Proc) handleBarrArrive(ctx *sim.Ctx, m *barrMsg) {
 	if len(bs.arrived) < p.sys.n {
 		return
 	}
-	// All arrived: merge and redistribute.
+	// All arrived: merge and redistribute.  Each arrival's record batch is
+	// already in (Proc, Idx) order — recordsNotCoveredBy emits it that way
+	// — so a head merge over the batches builds the sorted, deduplicated
+	// union directly: no per-barrier map, no sort.  Duplicates across
+	// batches are the same shared record (records are published once by
+	// their writer and travel by reference) and every head carrying the
+	// chosen key advances together.
 	merged := NewVC(p.sys.n)
-	union := map[[2]int]*IntervalRec{}
 	for _, a := range bs.arrived {
 		merged.Merge(a.VC)
-		for _, r := range a.Records {
-			union[[2]int{r.Proc, r.Idx}] = r
-		}
 	}
+	bs.union, bs.heads = mergeArrivalRecords(bs.arrived, bs.union[:0], bs.heads[:0])
+	union := bs.union
+	// Departures: each client gets the union entries it has not seen, in
+	// the union's (Proc, Idx) order.  The slice is counted first and
+	// allocated at exact size — it travels inside the departure message
+	// and lives until the receiver has applied it.
 	for _, a := range bs.arrived {
-		var out []*IntervalRec
-		for key, r := range union {
-			if int32(key[1]) >= a.VC[key[0]] { // client has not seen it
-				out = append(out, r)
+		n := 0
+		for _, r := range union {
+			if int32(r.Idx) >= a.VC[r.Proc] { // client has not seen it
+				n++
 			}
 		}
-		sort.Sort(recsByProcIdx(out))
+		var out []*IntervalRec
+		if n > 0 {
+			out = make([]*IntervalRec, 0, n)
+			for _, r := range union {
+				if int32(r.Idx) >= a.VC[r.Proc] {
+					out = append(out, r)
+				}
+			}
+		}
 		dep := &barrMsg{Barrier: bs.id, From: 0, VC: merged, Records: out}
 		p.srv.SendObj(ctx, p.sys.procs[a.From].ep, tagBarrDepart, dep, dep.wireSize())
 	}
-	bs.arrived = nil
+	bs.arrived = bs.arrived[:0]
 	bs.id = -1
 }
 

@@ -80,6 +80,19 @@ func FDDI() Config {
 	}
 }
 
+// Ethernet10 returns a slower-link cost model: shared 10 Mbit/s Ethernet
+// with the same kernel stacks.  Per-message software overheads are
+// unchanged; serialization is ten times slower and the datagram MTU drops
+// to the Ethernet frame payload, so page-size transfers fragment.  Used
+// by the link-bandwidth sensitivity scenarios — the paper's FDDI numbers
+// are the Config returned by FDDI.
+func Ethernet10() Config {
+	c := FDDI()
+	c.BytesPerSec = 10 * 1000 * 1000 / 8 // 10 Mbit/s
+	c.MTU = 1500
+	return c
+}
+
 // transmit returns the serialization time for n bytes.
 func (c Config) transmit(n int) sim.Time {
 	if c.BytesPerSec <= 0 {
