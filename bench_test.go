@@ -17,6 +17,7 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -36,23 +37,30 @@ func benchFigure(b *testing.B, name string) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// The TreadMarks and PVM runs are independent engines: the grid's
+	// worker pool runs them concurrently (on clones of the app), exactly
+	// as `msvdsm -j` regenerates the figure.  On a single-core host this
+	// degenerates to the serial path; records are identical either way.
+	grid := harness.Grid{
+		Apps:      []core.App{app},
+		Backends:  []core.Backend{core.TMK, core.PVM},
+		Scenarios: harness.BaseScenarios(8),
+		Workers:   runtime.GOMAXPROCS(0),
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tres, err := core.TMK.Run(app, core.Base(8))
-		if err != nil {
-			b.Fatal(err)
-		}
-		pres, err := core.PVM.Run(app, core.Base(8))
+		recs, err := grid.Run()
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
-			b.ReportMetric(tres.Time.Seconds(), "tmk-modelsec/op")
-			b.ReportMetric(pres.Time.Seconds(), "pvm-modelsec/op")
-			b.ReportMetric(seq.Time.Seconds()/tres.Time.Seconds(), "tmk-speedup")
-			b.ReportMetric(seq.Time.Seconds()/pres.Time.Seconds(), "pvm-speedup")
-			b.ReportMetric(float64(tres.Net.Messages), "tmkmsg/op")
-			b.ReportMetric(float64(pres.Net.Messages), "pvmmsg/op")
+			tres, pres := recs[0], recs[1]
+			b.ReportMetric(tres.Seconds, "tmk-modelsec/op")
+			b.ReportMetric(pres.Seconds, "pvm-modelsec/op")
+			b.ReportMetric(seq.Time.Seconds()/tres.Seconds, "tmk-speedup")
+			b.ReportMetric(seq.Time.Seconds()/pres.Seconds, "pvm-speedup")
+			b.ReportMetric(float64(tres.Messages), "tmkmsg/op")
+			b.ReportMetric(float64(pres.Messages), "pvmmsg/op")
 		}
 	}
 }

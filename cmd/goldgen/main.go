@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -27,6 +28,7 @@ var goldenProcs = []int{2, 4, 8}
 func main() {
 	scale := flag.Float64("scale", 0.1, "workload scale (1.0 = paper scale)")
 	format := flag.String("format", "text", `output format: "text" (diffable lines) or "go" (golden_test.go table literal)`)
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "grid worker pool width (1 = serial); output is identical at any width")
 	flag.Parse()
 
 	apps := harness.Apps(*scale)
@@ -34,6 +36,7 @@ func main() {
 		Apps:      apps,
 		Backends:  []core.Backend{core.TMK, core.PVM},
 		Scenarios: harness.BaseScenarios(goldenProcs...),
+		Workers:   *workers,
 	}.Run()
 	if err != nil {
 		panic(err)

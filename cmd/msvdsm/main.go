@@ -22,6 +22,13 @@
 //	-format f       output format: text, json or csv (default text).
 //	                json/csv emit the structured result records behind
 //	                the tables and figures.
+//	-j n            grid worker pool width (default GOMAXPROCS): runs
+//	                are independent engines, so tables, figures and
+//	                grids execute up to n runs concurrently.  Output is
+//	                byte-identical to -j 1.
+//	-parsim         run each simulation on the deterministically
+//	                parallel engine (sim.Options{Parallel}); modeled
+//	                results are byte-identical to the serial engine.
 //
 // Grid flags (after the grid command):
 //
@@ -35,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -46,8 +54,11 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper scale)")
 	procs := flag.Int("procs", 8, "maximum processor count for figures")
 	format := flag.String("format", "text", "output format: text, json or csv")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "grid worker pool width (1 = serial)")
+	parsim := flag.Bool("parsim", false, "use the deterministically parallel engine per run")
 	flag.Usage = usage
 	flag.Parse()
+	run := runOpts{workers: *workers, parsim: *parsim}
 	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
@@ -63,19 +74,19 @@ func main() {
 	var err error
 	switch cmd {
 	case "table1":
-		err = runTable1(apps, *format)
+		err = runTable1(apps, *format, run)
 	case "table2":
-		err = runTable2(apps, *format)
+		err = runTable2(apps, *format, run)
 	case "fig", "figure":
 		if flag.NArg() < 2 {
 			fmt.Fprintln(os.Stderr, "msvdsm fig <name>; see 'msvdsm list'")
 			os.Exit(2)
 		}
-		err = runFigures(apps, []string{flag.Arg(1)}, *procs, *format)
+		err = runFigures(apps, []string{flag.Arg(1)}, *procs, *format, run)
 	case "figures":
-		err = runFigures(apps, nil, *procs, *format)
+		err = runFigures(apps, nil, *procs, *format, run)
 	case "grid":
-		err = runGrid(apps, flag.Args()[1:], *format)
+		err = runGrid(apps, flag.Args()[1:], *format, run)
 	case "ablate":
 		var out string
 		out, err = harness.Ablations(*scale)
@@ -87,12 +98,12 @@ func main() {
 			// One structured document, not three concatenated ones: the
 			// figures grid (seq + both systems at 1..procs) is a superset
 			// of the tables' records, so emit it once.
-			err = runFigures(apps, nil, *procs, *format)
+			err = runFigures(apps, nil, *procs, *format, run)
 			break
 		}
-		if err = runTable1(apps, *format); err == nil {
-			if err = runTable2(apps, *format); err == nil {
-				err = runFigures(apps, nil, *procs, *format)
+		if err = runTable1(apps, *format, run); err == nil {
+			if err = runTable2(apps, *format, run); err == nil {
+				err = runFigures(apps, nil, *procs, *format, run)
 			}
 		}
 	case "list":
@@ -138,6 +149,28 @@ commands:
 	flag.PrintDefaults()
 }
 
+// runOpts carries the execution knobs every command applies: the grid
+// worker pool width and the per-run engine choice.
+type runOpts struct {
+	workers int
+	parsim  bool
+}
+
+// scenarios applies the engine choice to a scenario list.
+func (o runOpts) scenarios(scs []core.Scenario) []core.Scenario {
+	if o.parsim {
+		for i := range scs {
+			scs[i].Parallel = true
+		}
+	}
+	return scs
+}
+
+// grid assembles a Grid with this invocation's worker pool.
+func (o runOpts) grid(apps []core.App, backends []core.Backend, scs []core.Scenario) harness.Grid {
+	return harness.Grid{Apps: apps, Backends: backends, Scenarios: o.scenarios(scs), Workers: o.workers}
+}
+
 // emit prints records in the requested structured format, or renders them
 // with the given text renderer.
 func emit(recs []harness.Record, format string, text func([]harness.Record) string) error {
@@ -152,27 +185,23 @@ func emit(recs []harness.Record, format string, text func([]harness.Record) stri
 	}
 }
 
-func runTable1(apps []core.App, format string) error {
-	recs, err := harness.Grid{Apps: apps, Backends: []core.Backend{core.Seq}}.Run()
+func runTable1(apps []core.App, format string, run runOpts) error {
+	recs, err := run.grid(apps, []core.Backend{core.Seq}, nil).Run()
 	if err != nil {
 		return err
 	}
 	return emit(recs, format, harness.RenderTable1)
 }
 
-func runTable2(apps []core.App, format string) error {
-	recs, err := harness.Grid{
-		Apps:      apps,
-		Backends:  []core.Backend{core.TMK, core.PVM},
-		Scenarios: harness.BaseScenarios(8),
-	}.Run()
+func runTable2(apps []core.App, format string, run runOpts) error {
+	recs, err := run.grid(apps, []core.Backend{core.TMK, core.PVM}, harness.BaseScenarios(8)).Run()
 	if err != nil {
 		return err
 	}
 	return emit(recs, format, harness.RenderTable2)
 }
 
-func runFigures(apps []core.App, names []string, maxProcs int, format string) error {
+func runFigures(apps []core.App, names []string, maxProcs int, format string, run runOpts) error {
 	selected := apps
 	if names != nil {
 		selected = nil
@@ -188,11 +217,7 @@ func runFigures(apps []core.App, names []string, maxProcs int, format string) er
 	for n := 1; n <= maxProcs; n++ {
 		procs = append(procs, n)
 	}
-	recs, err := harness.Grid{
-		Apps:      selected,
-		Backends:  core.StandardBackends(),
-		Scenarios: harness.BaseScenarios(procs...),
-	}.Run()
+	recs, err := run.grid(selected, core.StandardBackends(), harness.BaseScenarios(procs...)).Run()
 	if err != nil {
 		return err
 	}
@@ -212,7 +237,7 @@ func runFigures(apps []core.App, names []string, maxProcs int, format string) er
 
 // runGrid parses the grid command's own flags and runs the described
 // cross product.
-func runGrid(apps []core.App, args []string, format string) error {
+func runGrid(apps []core.App, args []string, format string, run runOpts) error {
 	fs := flag.NewFlagSet("grid", flag.ContinueOnError)
 	appsFlag := fs.String("apps", "", "comma-separated app names (default: all)")
 	backendsFlag := fs.String("backends", "tmk,pvm", "comma-separated backend names")
@@ -261,7 +286,7 @@ func runGrid(apps []core.App, args []string, format string) error {
 		scenarios = append(scenarios, scs...)
 	}
 
-	recs, err := harness.Grid{Apps: selected, Backends: backends, Scenarios: scenarios}.Run()
+	recs, err := run.grid(selected, backends, scenarios).Run()
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/pvm"
 	"repro/internal/sim"
 	"repro/internal/tmk"
+	"sync"
 )
 
 // app implements core.App.
@@ -15,7 +16,8 @@ type app struct {
 
 	bodyA tmk.Addr // shared body array of the current TreadMarks run
 
-	parOut Output // accumulated per-processor checksums (owner sets disjoint)
+	mu     sync.Mutex // guards parOut: procs fold partials concurrently
+	parOut Output     // accumulated per-processor checksums (owner sets disjoint)
 	seqOut Output
 	hasSeq bool
 	hasPar bool
@@ -23,6 +25,10 @@ type app struct {
 
 // NewApp wraps a Barnes-Hut configuration as a registrable experiment.
 func NewApp(cfg Config) core.App { return &app{cfg: cfg} }
+
+// Clone returns a fresh instance with the same configuration and no run
+// state, so grid workers can run copies concurrently (core.Cloneable).
+func (a *app) Clone() core.App { return &app{cfg: a.cfg} }
 
 // Apps returns this package's registry entry (Figure 10) at the given
 // workload scale.
@@ -38,6 +44,16 @@ func (a *app) Figure() int  { return 10 }
 
 func (a *app) Problem() string {
 	return fmt.Sprintf("%d bodies, %d steps", a.cfg.Bodies, a.cfg.Steps)
+}
+
+// addSum folds one processor's partial checksum into the collector.
+// Integer addition commutes, so the result is identical in any
+// accumulation order — including the concurrent compute phases of the
+// parallel engine, which the mutex makes safe.
+func (a *app) addSum(v int64) {
+	a.mu.Lock()
+	a.parOut.Sum += v
+	a.mu.Unlock()
 }
 
 func (a *app) Check() error {
@@ -116,7 +132,7 @@ func (a *app) TMK(p *tmk.Proc) {
 		p.Compute(sim.Time(len(mine)) * cfg.UpdateCost)
 		p.Barrier(3*st + 2)
 	}
-	a.parOut.Sum += checksum(local, mine)
+	a.addSum(checksum(local, mine))
 }
 
 func (a *app) SetupPVM(sys *pvm.System) {
@@ -170,7 +186,7 @@ func (a *app) PVM(p *pvm.Proc) {
 			}
 		}
 	}
-	a.parOut.Sum += checksum(bodies, mine)
+	a.addSum(checksum(bodies, mine))
 }
 
 func (a *app) Master() func(*pvm.Proc) { return nil }

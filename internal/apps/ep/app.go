@@ -25,6 +25,10 @@ func NewApp(cfg Config) core.App { return newApp(cfg) }
 
 func newApp(cfg Config) *app { return &app{cfg: cfg} }
 
+// Clone returns a fresh instance with the same configuration and no run
+// state, so grid workers can run copies concurrently (core.Cloneable).
+func (a *app) Clone() core.App { return newApp(a.cfg) }
+
 // Apps returns this package's registry entry (Figure 1) at the given
 // workload scale (1.0 = paper scale).
 func Apps(scale float64) []core.App {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/pvm"
 	"repro/internal/sim"
 	"repro/internal/tmk"
+	"sync"
 )
 
 // app implements core.App.
@@ -15,7 +16,8 @@ type app struct {
 
 	aA, bA tmk.Addr // shared array buffers of the current TreadMarks run
 
-	parOut Output // accumulated per-processor plane checksums
+	mu     sync.Mutex // guards parOut: procs fold partials concurrently
+	parOut Output     // accumulated per-processor plane checksums
 	seqOut Output
 	hasSeq bool
 	hasPar bool
@@ -23,6 +25,10 @@ type app struct {
 
 // NewApp wraps a 3D-FFT configuration as a registrable experiment.
 func NewApp(cfg Config) core.App { return &app{cfg: cfg} }
+
+// Clone returns a fresh instance with the same configuration and no run
+// state, so grid workers can run copies concurrently (core.Cloneable).
+func (a *app) Clone() core.App { return &app{cfg: a.cfg} }
 
 // Apps returns this package's registry entry (Figure 11) at the given
 // workload scale.  The cube edge does not shrink linearly; quick mode
@@ -41,6 +47,15 @@ func (a *app) Figure() int  { return 11 }
 
 func (a *app) Problem() string {
 	return fmt.Sprintf("%d^3 complex, %d iters", a.cfg.N, a.cfg.Iters)
+}
+
+// addSum folds one processor's partial checksum into the collector;
+// integer addition commutes, so any accumulation order — including the
+// parallel engine's concurrent compute phases — gives the same output.
+func (a *app) addSum(v int64) {
+	a.mu.Lock()
+	a.parOut.Sum += v
+	a.mu.Unlock()
 }
 
 func (a *app) Check() error {
@@ -117,7 +132,7 @@ func (a *app) TMK(p *tmk.Proc) {
 		fl = bv
 	}
 	fl.Load(local, lo*plane, hi*plane)
-	a.parOut.Sum += chunkChecksum(local, lo*plane)
+	a.addSum(chunkChecksum(local, lo*plane))
 }
 
 func (a *app) SetupPVM(sys *pvm.System) {
@@ -183,7 +198,7 @@ func (a *app) PVM(p *pvm.Proc) {
 		p.Compute(passes(cfg, cur, lo, hi, it))
 		prev, cur = cur, prev
 	}
-	a.parOut.Sum += chunkChecksum(prev, lo*plane)
+	a.addSum(chunkChecksum(prev, lo*plane))
 }
 
 func (a *app) Master() func(*pvm.Proc) { return nil }

@@ -25,6 +25,10 @@ type app struct {
 // NewApp wraps an ILINK configuration as a registrable experiment.
 func NewApp(cfg Config) core.App { return &app{cfg: cfg} }
 
+// Clone returns a fresh instance with the same configuration and no run
+// state, so grid workers can run copies concurrently (core.Cloneable).
+func (a *app) Clone() core.App { return &app{cfg: a.cfg} }
+
 // Apps returns this package's registry entry (Figure 12) at the given
 // workload scale.
 func Apps(scale float64) []core.App {

@@ -42,6 +42,10 @@ func NewApp(cfg Config) core.App {
 
 func newApp(cfg Config) *app { return &app{cfg: cfg, name: "IS-Small", figure: 4} }
 
+// Clone returns a fresh instance with the same configuration and no run
+// state, so grid workers can run copies concurrently (core.Cloneable).
+func (a *app) Clone() core.App { return &app{cfg: a.cfg, name: a.name, figure: a.figure} }
+
 // Apps returns this package's registry entries (Figures 4 and 5) at the
 // given workload scale.
 func Apps(scale float64) []core.App {

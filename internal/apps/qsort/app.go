@@ -32,6 +32,10 @@ func NewApp(cfg Config) core.App { return newApp(cfg) }
 
 func newApp(cfg Config) *app { return &app{cfg: cfg, sink: newSink()} }
 
+// Clone returns a fresh instance with the same configuration and no run
+// state, so grid workers can run copies concurrently (core.Cloneable).
+func (a *app) Clone() core.App { return newApp(a.cfg) }
+
 // Apps returns this package's registry entry (Figure 7) at the given
 // workload scale.
 func Apps(scale float64) []core.App {

@@ -30,6 +30,10 @@ func NewApp(cfg Config) core.App { return newApp(cfg) }
 
 func newApp(cfg Config) *app { return &app{cfg: cfg} }
 
+// Clone returns a fresh instance with the same configuration and no run
+// state, so grid workers can run copies concurrently (core.Cloneable).
+func (a *app) Clone() core.App { return newApp(a.cfg) }
+
 // Apps returns this package's registry entry (Figure 6) at the given
 // workload scale.  The branch-and-bound search does not shrink linearly;
 // quick mode swaps in a smaller instance with the same structure.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/pvm"
 	"repro/internal/sim"
 	"repro/internal/tmk"
+	"sync"
 )
 
 // app implements core.App for one Water input size.
@@ -19,7 +20,8 @@ type app struct {
 	// Shared-memory layout of the current TreadMarks run.
 	posA, frcA tmk.Addr
 
-	parOut Output // accumulated per-processor checksums (run collector)
+	mu     sync.Mutex // guards parOut: procs fold partials concurrently
+	parOut Output     // accumulated per-processor checksums (run collector)
 	seqOut Output
 	hasSeq bool
 	hasPar bool
@@ -29,6 +31,10 @@ type app struct {
 func NewApp(cfg Config) core.App {
 	return &app{cfg: cfg, name: fmt.Sprintf("Water-%d", cfg.Mols)}
 }
+
+// Clone returns a fresh instance with the same configuration and no run
+// state, so grid workers can run copies concurrently (core.Cloneable).
+func (a *app) Clone() core.App { return &app{cfg: a.cfg, name: a.name, figure: a.figure} }
 
 // Apps returns this package's registry entries (Figures 8 and 9) at the
 // given workload scale.  The large input keeps its paper name even when
@@ -52,6 +58,16 @@ func (a *app) Figure() int  { return a.figure }
 
 func (a *app) Problem() string {
 	return fmt.Sprintf("%d molecules, %d steps", a.cfg.Mols, a.cfg.Steps)
+}
+
+// addPart folds one processor's partial checksums into the collector;
+// integer addition commutes, so any accumulation order — including the
+// parallel engine's concurrent compute phases — gives the same output.
+func (a *app) addPart(part Output) {
+	a.mu.Lock()
+	a.parOut.ForceSum += part.ForceSum
+	a.parOut.PosSum += part.PosSum
+	a.mu.Unlock()
 }
 
 func (a *app) Check() error {
@@ -165,8 +181,7 @@ func (a *app) TMK(p *tmk.Proc) {
 			part.PosSum += int64(math.Round(ps.pos[i]*1e6)) * int64(i%17+1)
 		}
 	}
-	a.parOut.ForceSum += part.ForceSum
-	a.parOut.PosSum += part.PosSum
+	a.addPart(part)
 }
 
 func (a *app) SetupPVM(sys *pvm.System) {
@@ -243,8 +258,7 @@ func (a *app) PVM(p *pvm.Proc) {
 			part.PosSum += int64(math.Round(ps.pos[i]*1e6)) * int64(i%17+1)
 		}
 	}
-	a.parOut.ForceSum += part.ForceSum
-	a.parOut.PosSum += part.PosSum
+	a.addPart(part)
 }
 
 func (a *app) Master() func(*pvm.Proc) { return nil }

@@ -39,6 +39,14 @@ type Config struct {
 	// one-line scenario override.
 	XDRPerByte sim.Time
 
+	// Parallel runs the simulation on the deterministically parallel
+	// engine (sim.Options{Parallel}): same-virtual-time steps execute on
+	// concurrent goroutines with all observable events forced into the
+	// serial order, so modeled Time/Messages/Bytes are byte-identical to
+	// the serial engine.  The default (false) keeps the serial engine,
+	// which remains the differential oracle.
+	Parallel bool
+
 	// MasterColocated places the app's extra PVM master process (if any)
 	// on node 0, sharing the workstation with slave 0 as in the paper's
 	// physical arrangement: master/slave-0 traffic crosses loopback and
@@ -89,22 +97,19 @@ func RunSeq(body func(ctx *sim.Ctx)) (Result, error) {
 // RunTMK executes the TreadMarks version: setup allocates and preloads
 // shared memory, then body runs on every processor.
 func RunTMK(cfg Config, setup func(sys *tmk.System), body func(p *tmk.Proc)) (Result, error) {
-	eng := sim.NewEngine()
+	eng := sim.NewEngineOpts(sim.Options{Parallel: cfg.Parallel})
 	net := vnet.New(cfg.Net)
 	sys := tmk.NewSystem(eng, net, cfg.Procs, cfg.DSM)
 	setup(sys)
-	procs := make([]*tmk.Proc, 0, cfg.Procs)
 	for i := 0; i < cfg.Procs; i++ {
-		sys.Spawn(i, func(p *tmk.Proc) {
-			procs = append(procs, p)
-			body(p)
-		})
+		sys.Spawn(i, body)
 	}
 	if err := eng.Run(); err != nil {
 		return Result{}, err
 	}
 	res := Result{Time: eng.MaxPrimaryClock(), Net: sys.Stats()}
-	for _, p := range procs {
+	for i := 0; i < cfg.Procs; i++ {
+		p := sys.Proc(i)
 		res.Faults += p.Faults
 		res.DiffRequests += p.DiffRequests
 		res.DiffsApplied += p.DiffsApplied
@@ -120,7 +125,7 @@ func RunTMK(cfg Config, setup func(sys *tmk.System), body func(p *tmk.Proc)) (Re
 // n regular processes; if master is non-nil it runs as an additional
 // process (id n), as in the paper's master/slave TSP and QSORT.
 func RunPVM(cfg Config, setup func(sys *pvm.System), body func(p *pvm.Proc), master func(p *pvm.Proc)) (Result, error) {
-	eng := sim.NewEngine()
+	eng := sim.NewEngineOpts(sim.Options{Parallel: cfg.Parallel})
 	net := vnet.New(cfg.Net)
 	sys := pvm.New(eng, net, cfg.Procs)
 	if cfg.XDRPerByte > 0 {

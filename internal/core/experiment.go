@@ -85,6 +85,18 @@ type Backend interface {
 	Run(app App, sc Scenario) (Result, error)
 }
 
+// Cloneable is implemented by Apps whose runs can be isolated: Clone
+// returns a fresh instance with the same configuration and no run state,
+// so two clones may run on concurrent goroutines.  Runs are
+// deterministic functions of (configuration, scenario), so a clone's
+// records are identical to the original's.  The harness grid uses
+// clones for its worker pool; apps that do not implement Cloneable are
+// still correct — their runs are serialized per instance.
+type Cloneable interface {
+	App
+	Clone() App
+}
+
 // The standard adapters, mirroring the paper's three measurement modes.
 var (
 	Seq Backend = seqBackend{}

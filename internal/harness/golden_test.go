@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -183,18 +185,154 @@ var golden = map[string]map[string][3]metric{
 	},
 }
 
-// runGolden collects the golden metrics for one full pass: the same
-// record grid cmd/goldgen dumps, folded into the pinned-table shape.
-func runGolden(t *testing.T) map[string]map[string][3]metric {
-	t.Helper()
-	recs, err := Grid{
+// goldenGrid is the full pinned grid: all 12 experiments x {tmk,pvm} x
+// {2,4,8} processors.  parallelEngine switches every scenario onto the
+// deterministically parallel engine; workers widens Grid.Run's pool.
+func goldenGrid(parallelEngine bool, workers int) Grid {
+	scs := BaseScenarios(goldenProcs[:]...)
+	if parallelEngine {
+		for i := range scs {
+			scs[i].Parallel = true
+		}
+	}
+	return Grid{
 		Apps:      Apps(goldenScale),
 		Backends:  []core.Backend{core.TMK, core.PVM},
-		Scenarios: BaseScenarios(goldenProcs[:]...),
-	}.Run()
+		Scenarios: scs,
+		Workers:   workers,
+	}
+}
+
+// runGolden collects the golden metrics for one full pass: the same
+// record grid cmd/goldgen dumps, folded into the pinned-table shape.
+func runGolden(t *testing.T, parallelEngine bool, workers int) map[string]map[string][3]metric {
+	t.Helper()
+	recs, err := goldenGrid(parallelEngine, workers).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
+	return foldRecords(t, recs)
+}
+
+// checkGolden asserts one pass's metrics against the pinned seed values:
+// any drift in Time, Messages or Bytes is a determinism regression in
+// the engine, the network model or the DSM protocol.
+func checkGolden(t *testing.T, mode string, got map[string]map[string][3]metric) {
+	t.Helper()
+	for name, systems := range golden {
+		for sys, want := range systems {
+			for i, n := range goldenProcs {
+				if g := got[name][sys][i]; g != want[i] {
+					t.Errorf("%s: %s %s n=%d: got %+v, want %+v", mode, name, sys, n, g, want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenMetrics pins the serial engine, serial grid — the oracle
+// configuration every other mode is differenced against.
+func TestGoldenMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full golden grid in -short mode")
+	}
+	checkGolden(t, "serial", runGolden(t, false, 0))
+}
+
+// TestGoldenMetricsParallelEngine reruns the full pinned grid on the
+// deterministically parallel engine (sim.Options{Parallel}): same-time
+// steps execute on concurrent goroutines, and every modeled metric must
+// still match the seed byte for byte.
+func TestGoldenMetricsParallelEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full golden grid in -short mode")
+	}
+	checkGolden(t, "parallel-engine", runGolden(t, true, 0))
+}
+
+// TestGoldenMetricsGridWorkers reruns the full pinned grid through the
+// worker-pool grid: the records must be identical to the serial grid's —
+// same values in the same order — not merely golden-equal, because
+// downstream consumers (tables, goldgen diffs, JSON output) depend on
+// enumeration order.
+func TestGoldenMetricsGridWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full golden grid in -short mode")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4 // exercise real pool concurrency even on small hosts
+	}
+	serial, err := goldenGrid(false, 0).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := goldenGrid(false, workers).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(pooled) {
+		t.Fatalf("record counts differ: serial %d, workers %d", len(serial), len(pooled))
+	}
+	for i := range serial {
+		if serial[i] != pooled[i] {
+			t.Errorf("record %d differs:\nserial  %+v\nworkers %+v", i, serial[i], pooled[i])
+		}
+	}
+	checkGolden(t, "grid-workers", foldRecords(t, pooled))
+}
+
+// TestGridWorkersStress randomizes worker counts (seeded) over a
+// smaller grid, including the parallel engine, and requires every pass
+// to reproduce the serial records exactly.
+func TestGridWorkersStress(t *testing.T) {
+	apps := []core.App{}
+	for _, name := range []string{"SOR-Zero", "IS-Small", "QSORT"} {
+		app := Find(Apps(goldenScale), name)
+		if app == nil {
+			t.Fatalf("experiment %q not registered", name)
+		}
+		apps = append(apps, app)
+	}
+	mk := func(par bool, workers int) Grid {
+		scs := BaseScenarios(2, 4)
+		for i := range scs {
+			scs[i].Parallel = par
+		}
+		return Grid{
+			Apps:      apps,
+			Backends:  []core.Backend{core.Seq, core.TMK, core.PVM},
+			Scenarios: scs,
+			Workers:   workers,
+		}
+	}
+	want, err := mk(false, 0).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9137))
+	for round := 0; round < 6; round++ {
+		workers := 2 + rng.Intn(14)
+		par := rng.Intn(2) == 1
+		got, err := mk(par, workers).Run()
+		if err != nil {
+			t.Fatalf("round %d (workers=%d parallel=%v): %v", round, workers, par, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d records, want %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("round %d (workers=%d parallel=%v) record %d:\ngot  %+v\nwant %+v",
+					round, workers, par, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// foldRecords reshapes grid records into the pinned-table form.
+func foldRecords(t *testing.T, recs []Record) map[string]map[string][3]metric {
+	t.Helper()
 	out := map[string]map[string][3]metric{}
 	for _, r := range recs {
 		slot := -1
@@ -214,25 +352,6 @@ func runGolden(t *testing.T) map[string]map[string][3]metric {
 		out[r.App][r.Backend] = m
 	}
 	return out
-}
-
-// TestGoldenMetrics asserts the modeled results against the pinned seed
-// values: any drift in Time, Messages or Bytes is a determinism
-// regression in the engine, the network model or the DSM protocol.
-func TestGoldenMetrics(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full golden grid in -short mode")
-	}
-	got := runGolden(t)
-	for name, systems := range golden {
-		for sys, want := range systems {
-			for i, n := range goldenProcs {
-				if g := got[name][sys][i]; g != want[i] {
-					t.Errorf("%s %s n=%d: got %+v, want %+v", name, sys, n, g, want[i])
-				}
-			}
-		}
-	}
 }
 
 // TestBackToBackRunsIdentical reruns two representative experiments — a

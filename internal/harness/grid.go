@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -75,12 +77,39 @@ type Grid struct {
 	Apps      []core.App
 	Backends  []core.Backend
 	Scenarios []core.Scenario
+
+	// Workers widens Run into a worker pool: every run is an independent
+	// engine, so up to Workers of them execute on concurrent goroutines.
+	// Jobs are enumerated exactly as in the serial order and records land
+	// in a preallocated slice by job index, so the output is byte-
+	// identical to Workers <= 1 (the serial path, and the default).
+	// Cloneable apps run on per-job clones; other apps' runs are
+	// serialized per instance (their run state is not shareable).
+	Workers int
 }
 
-// Run executes the grid in deterministic order — apps outermost (registry
-// order), then backends, then scenarios — and returns one record per run.
-// The first failing run aborts the grid.
-func (g Grid) Run() ([]Record, error) {
+// gridJob is one run of the enumerated grid.
+type gridJob struct {
+	app core.App
+	b   core.Backend
+	sc  core.Scenario
+}
+
+func (j gridJob) run() (Record, error) {
+	res, err := j.b.Run(j.app, j.sc)
+	if err != nil {
+		if core.IsBaseline(j.b) {
+			return Record{}, fmt.Errorf("%s/%s: %w", j.app.Name(), j.b.Name(), err)
+		}
+		return Record{}, fmt.Errorf("%s/%s/%s n=%d: %w", j.app.Name(), j.b.Name(), j.sc.Name, j.sc.Procs, err)
+	}
+	return recordOf(j.app, j.b, j.sc, res), nil
+}
+
+// jobs enumerates the grid in deterministic order — apps outermost
+// (registry order), then backends, then scenarios — with the baseline
+// dedup applied.
+func (g Grid) jobs() ([]gridJob, error) {
 	if len(g.Scenarios) == 0 {
 		for _, b := range g.Backends {
 			if !core.IsBaseline(b) {
@@ -88,25 +117,93 @@ func (g Grid) Run() ([]Record, error) {
 			}
 		}
 	}
-	var recs []Record
+	var jobs []gridJob
 	for _, app := range g.Apps {
 		for _, b := range g.Backends {
 			if core.IsBaseline(b) {
-				sc := core.Base(1)
-				res, err := b.Run(app, sc)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s: %w", app.Name(), b.Name(), err)
-				}
-				recs = append(recs, recordOf(app, b, sc, res))
+				jobs = append(jobs, gridJob{app: app, b: b, sc: core.Base(1)})
 				continue
 			}
 			for _, sc := range g.Scenarios {
-				res, err := b.Run(app, sc)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s/%s n=%d: %w", app.Name(), b.Name(), sc.Name, sc.Procs, err)
-				}
-				recs = append(recs, recordOf(app, b, sc, res))
+				jobs = append(jobs, gridJob{app: app, b: b, sc: sc})
 			}
+		}
+	}
+	return jobs, nil
+}
+
+// Run executes the grid and returns one record per run in enumeration
+// order.  With Workers <= 1 the runs execute serially on the calling
+// goroutine and the first failing run aborts the grid; with Workers > 1
+// they spread across a worker pool and the error of the earliest-indexed
+// failing job is returned — the same error the serial path would have
+// produced first.
+func (g Grid) Run() ([]Record, error) {
+	jobs, err := g.jobs()
+	if err != nil {
+		return nil, err
+	}
+	if g.Workers > 1 && len(jobs) > 1 {
+		return runPool(jobs, g.Workers)
+	}
+	var recs []Record
+	for _, j := range jobs {
+		rec, err := j.run()
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// runPool executes the jobs across a pool of workers, collecting records
+// by job index so the output order and content match the serial path.
+func runPool(jobs []gridJob, workers int) ([]Record, error) {
+	recs := make([]Record, len(jobs))
+	errs := make([]error, len(jobs))
+	// Isolate per-job app state: cloneable apps get a fresh clone per
+	// job; the rest share their instance under a per-instance lock, so
+	// two of their runs never interleave.
+	locks := map[core.App]*sync.Mutex{}
+	work := make([]gridJob, len(jobs))
+	for i, j := range jobs {
+		if c, ok := j.app.(core.Cloneable); ok {
+			j.app = c.Clone()
+		} else if locks[j.app] == nil {
+			locks[j.app] = &sync.Mutex{}
+		}
+		work[i] = j
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(work) {
+					return
+				}
+				if mu := locks[jobs[i].app]; mu != nil {
+					mu.Lock()
+					recs[i], errs[i] = work[i].run()
+					mu.Unlock()
+				} else {
+					recs[i], errs[i] = work[i].run()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return recs, nil

@@ -18,10 +18,14 @@
 //     page-size sweep, link-bandwidth sweep, co-located master).
 //
 // A Grid is the cross product apps × backends × scenarios; Grid.Run
-// executes it and emits one structured Record per run.  Everything else —
-// the rendered Table 1/Table 2, the speedup figures, the goldens pinned
-// in golden_test.go, cmd/goldgen, cmd/msvdsm's JSON/CSV output and the
-// ablation studies — consumes the same records.
+// executes it and emits one structured Record per run.  Runs are
+// independent engines, so Grid.Workers spreads them across a worker
+// pool (jobs scheduled by index, records collected by index: output
+// byte-identical to the serial path) — apps implementing core.Cloneable
+// run on per-job clones, the rest serialize per instance.  Everything
+// else — the rendered Table 1/Table 2, the speedup figures, the goldens
+// pinned in golden_test.go, cmd/goldgen, cmd/msvdsm's JSON/CSV output
+// and the ablation studies — consumes the same records.
 package harness
 
 import (

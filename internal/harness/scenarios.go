@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/vnet"
 )
 
@@ -64,6 +65,57 @@ func BandwidthScenarios(nprocs int) []core.Scenario {
 	return []core.Scenario{fddi, eth}
 }
 
+// LatencyScenarios sweeps the one-way wire latency from the paper's
+// FDDI campus value out to WAN-class delays at a fixed processor count.
+// Latency hits the DSM and message-passing systems asymmetrically: a
+// TreadMarks page fault pays the round trip once per missing diff
+// source, while PVM pays it once per application-level exchange.
+func LatencyScenarios(nprocs int, lats ...sim.Time) []core.Scenario {
+	if len(lats) == 0 {
+		lats = []sim.Time{
+			60 * sim.Microsecond, // the paper's FDDI testbed
+			500 * sim.Microsecond,
+			2 * sim.Millisecond, // metro-area link
+			10 * sim.Millisecond,
+			40 * sim.Millisecond, // WAN / transcontinental
+		}
+	}
+	var out []core.Scenario
+	for _, l := range lats {
+		sc := core.Base(nprocs)
+		sc.Name = fmt.Sprintf("lat=%dus", int64(l/sim.Microsecond))
+		sc.Net.Latency = l
+		out = append(out, sc)
+	}
+	return out
+}
+
+// HandlerScenarios sweeps the service-side cost of handling a protocol
+// request (tmk.Config.HandlerOverhead) — the stand-in for the SIGIO
+// interrupt-and-dispatch cost the paper identifies as a fixed per-message
+// overhead of the DSM's request/reply structure.  PVM runs are unaffected
+// (no service daemon), so the sweep isolates the interrupt-cost
+// sensitivity of TreadMarks alone.
+func HandlerScenarios(nprocs int, costs ...sim.Time) []core.Scenario {
+	if len(costs) == 0 {
+		costs = []sim.Time{
+			0,
+			30 * sim.Microsecond, // the paper's testbed
+			100 * sim.Microsecond,
+			300 * sim.Microsecond,
+			1 * sim.Millisecond,
+		}
+	}
+	var out []core.Scenario
+	for _, c := range costs {
+		sc := core.Base(nprocs)
+		sc.Name = fmt.Sprintf("handler=%dus", int64(c/sim.Microsecond))
+		sc.DSM.HandlerOverhead = c
+		out = append(out, sc)
+	}
+	return out
+}
+
 // ColocatedScenario places the PVM master (for master/slave apps) on
 // node 0 with slave 0, as in the paper's physical arrangement: their
 // traffic crosses loopback and disappears from the message counts.
@@ -85,6 +137,8 @@ var scenarioSets = []struct {
 	{"page", func(n int) []core.Scenario { return PageSizeScenarios(n) }},
 	{"mtu", func(n int) []core.Scenario { return MTUScenarios(n) }},
 	{"bw", BandwidthScenarios},
+	{"lat", func(n int) []core.Scenario { return LatencyScenarios(n) }},
+	{"handler", func(n int) []core.Scenario { return HandlerScenarios(n) }},
 	{"colocated", func(n int) []core.Scenario { return []core.Scenario{ColocatedScenario(n)} }},
 }
 

@@ -28,10 +28,21 @@ var TMKSmallPage = core.Variant("tmk-1k", core.TMK, func(sc core.Scenario) core.
 	return sc
 })
 
+// TMKEager is TreadMarks with eager invalidation
+// (tmk.Config.EagerInvalidate): every interval close broadcasts its
+// write notices instead of piggybacking them on the next grant or
+// departure, approximating a sequentially consistent DSM.  The ablation
+// isolates what laziness buys the paper's protocol: same applications,
+// strictly more messages.
+var TMKEager = core.Variant("tmk-sc", core.TMK, func(sc core.Scenario) core.Scenario {
+	sc.DSM.EagerInvalidate = true
+	return sc
+})
+
 // Backends returns every registered backend: the standard adapters in
 // reporting order, then the variants.
 func Backends() []core.Backend {
-	return append(core.StandardBackends(), PVMXDR, TMKSmallPage)
+	return append(core.StandardBackends(), PVMXDR, TMKSmallPage, TMKEager)
 }
 
 // FindBackend resolves a backend by name.

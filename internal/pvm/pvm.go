@@ -240,10 +240,13 @@ func (p *Proc) srcNode(src int) int {
 
 // Recv blocks until a message with the given source and tag arrives
 // (pvm_recv).  Negative src or tag match anything.  The returned buffer is
-// positioned for unpacking.
+// positioned for unpacking.  The transport envelope is recycled here; the
+// payload bytes live on inside the buffer.
 func (p *Proc) Recv(src, tag int) *Buffer {
 	m := p.ep.Recv(p.ctx, p.srcNode(src), tag)
-	return &Buffer{proc: p, data: m.Payload, src: m.From, tag: m.Tag}
+	b := &Buffer{proc: p, data: m.Payload, src: m.From, tag: m.Tag}
+	p.ep.Free(p.ctx, m)
+	return b
 }
 
 // NRecv is the non-blocking receive (pvm_nrecv): it returns nil when no
@@ -254,7 +257,9 @@ func (p *Proc) NRecv(src, tag int) *Buffer {
 	if m == nil {
 		return nil
 	}
-	return &Buffer{proc: p, data: m.Payload, src: m.From, tag: m.Tag}
+	b := &Buffer{proc: p, data: m.Payload, src: m.From, tag: m.Tag}
+	p.ep.Free(p.ctx, m)
+	return b
 }
 
 // Probe reports whether a matching message has arrived (pvm_probe).

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// mailbox is a minimal WaitOn/Notify/Gate-disciplined channel for engine
+// tests: sends gate (they are shared operations) and mutate under Sync;
+// receives block on the source and consume while holding the token.
+type mailbox struct {
+	src  Source
+	msgs []Time // arrival times, append order
+}
+
+func (b *mailbox) send(c *Ctx, arrival Time) {
+	c.Gate()
+	c.Sync(func() {
+		b.msgs = append(b.msgs, arrival)
+		b.src.Notify()
+	})
+}
+
+func (b *mailbox) recv(c *Ctx) {
+	c.WaitOn(&b.src, "mail", func() (Time, bool) {
+		if len(b.msgs) == 0 {
+			return 0, false
+		}
+		return b.msgs[0], true
+	})
+	b.msgs = b.msgs[1:]
+}
+
+// ringTrace runs a token-ring workload — compute, send, trace, receive —
+// and returns the committed event order.  Several procs share compute
+// durations, so same-time batches form; the trace is appended inside the
+// gated send, i.e. in commit order.
+func ringTrace(t *testing.T, parallel bool, procs, rounds int, seed int64) []string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	work := make([][]Time, procs)
+	for i := range work {
+		work[i] = make([]Time, rounds)
+		for r := range work[i] {
+			if i%2 == 0 {
+				// Half the ring computes a per-round (not per-proc)
+				// duration: these procs stay clock-aligned and batch.
+				work[i][r] = Time(1+r%3) * Millisecond
+			} else {
+				work[i][r] = Time(rng.Intn(4000)) * Microsecond
+			}
+		}
+	}
+	e := NewEngineOpts(Options{Parallel: parallel})
+	boxes := make([]*mailbox, procs)
+	for i := range boxes {
+		boxes[i] = &mailbox{}
+	}
+	var trace []string
+	for i := 0; i < procs; i++ {
+		id := i
+		e.Spawn(fmt.Sprintf("p%d", id), false, func(c *Ctx) {
+			for r := 0; r < rounds; r++ {
+				c.Compute(work[id][r])
+				dst := (id + 1) % procs
+				c.Gate()
+				c.Sync(func() {
+					boxes[dst].msgs = append(boxes[dst].msgs, c.Now()+100*Microsecond)
+					boxes[dst].src.Notify()
+				})
+				trace = append(trace, fmt.Sprintf("p%d@%d->%d", id, c.Now(), dst))
+				boxes[id].recv(c)
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+// TestParallelMatchesSerialTrace pins the core determinism claim: the
+// parallel engine commits the exact event sequence of the serial engine,
+// over a spread of seeds and ring sizes (including same-time batches).
+func TestParallelMatchesSerialTrace(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		procs := 2 + int(seed)%5
+		serial := ringTrace(t, false, procs, 6, seed)
+		par := ringTrace(t, true, procs, 6, seed)
+		if len(serial) != len(par) {
+			t.Fatalf("seed %d: trace lengths differ: %d vs %d", seed, len(serial), len(par))
+		}
+		for i := range serial {
+			if serial[i] != par[i] {
+				t.Fatalf("seed %d: traces diverge at %d: %q vs %q\nserial: %v\npar:    %v",
+					seed, i, serial[i], par[i], serial, par)
+			}
+		}
+	}
+}
+
+// TestParallelBatchConcurrency verifies same-time compute phases really
+// are released together: every proc spawns at t=0 (one batch) and spins
+// until it has seen all its peers mid-compute.  The spin can only
+// terminate if the engine released the whole batch concurrently; an
+// engine that serialized the steps would hang the test (caught by the
+// test timeout).
+func TestParallelBatchConcurrency(t *testing.T) {
+	const procs = 8
+	e := NewEngineOpts(Options{Parallel: true})
+	var released atomic.Int32
+	for i := 0; i < procs; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), false, func(c *Ctx) {
+			released.Add(1)
+			for released.Load() < procs {
+				runtime.Gosched()
+			}
+			c.Compute(Millisecond)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelGroupExclusion: procs sharing a SpawnGroup mutate unshared-
+// unprotected state in their compute phases; the group contract says they
+// are never released concurrently, so the plain counter stays exact (and
+// the race detector stays quiet).
+func TestParallelGroupExclusion(t *testing.T) {
+	const rounds = 50
+	e := NewEngineOpts(Options{Parallel: true})
+	shared := 0 // group-shared, deliberately unsynchronized
+	var overlap atomic.Int32
+	var bad atomic.Bool
+	member := func(c *Ctx) {
+		for r := 0; r < rounds; r++ {
+			if overlap.Add(1) != 1 {
+				bad.Store(true)
+			}
+			shared++
+			overlap.Add(-1)
+			c.Yield()
+		}
+	}
+	e.SpawnGroup("a", false, 7, member)
+	e.SpawnGroup("b", false, 7, member)
+	// An ungrouped bystander keeps real batching alive at the same times.
+	e.Spawn("c", false, func(c *Ctx) {
+		for r := 0; r < rounds; r++ {
+			c.Yield()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() {
+		t.Error("group members observed running concurrently")
+	}
+	if shared != 2*rounds {
+		t.Errorf("group-shared counter = %d, want %d", shared, 2*rounds)
+	}
+}
+
+// TestParallelDeadlockDetected mirrors the serial deadlock test on the
+// parallel engine.
+func TestParallelDeadlockDetected(t *testing.T) {
+	e := NewEngineOpts(Options{Parallel: true})
+	e.Spawn("stuck", false, func(c *Ctx) {
+		c.Wait("never", func() (Time, bool) { return 0, false })
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+// TestParallelPanicPropagates mirrors the serial panic test, with other
+// procs mid-batch when the panic hits.
+func TestParallelPanicPropagates(t *testing.T) {
+	e := NewEngineOpts(Options{Parallel: true})
+	e.Spawn("stuck", false, func(c *Ctx) {
+		c.Wait("never", func() (Time, bool) { return 0, false })
+	})
+	e.Spawn("busy", false, func(c *Ctx) {
+		for i := 0; i < 1000; i++ {
+			c.Compute(Microsecond)
+			c.Yield()
+		}
+	})
+	e.Spawn("bad", false, func(c *Ctx) {
+		c.Compute(Millisecond)
+		panic("late boom")
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "late boom") {
+		t.Fatalf("err = %v, want panic propagation", err)
+	}
+}
+
+// TestParallelDaemonAbandoned: daemons blocked (or mid-batch) when the
+// last primary returns must unwind cleanly, and Run must not return
+// before every released goroutine has quiesced.
+func TestParallelDaemonAbandoned(t *testing.T) {
+	e := NewEngineOpts(Options{Parallel: true})
+	box := &mailbox{}
+	e.Spawn("daemon", true, func(c *Ctx) {
+		for {
+			box.recv(c)
+		}
+	})
+	e.Spawn("worker", false, func(c *Ctx) {
+		c.Compute(Millisecond)
+		box.send(c, c.Now()+Microsecond)
+		c.Compute(Millisecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.MaxPrimaryClock() != 2*Millisecond {
+		t.Errorf("MaxPrimaryClock = %v, want 2ms", e.MaxPrimaryClock())
+	}
+}

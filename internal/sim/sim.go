@@ -42,6 +42,45 @@
 // proc's condition outcome may only change when its Source is notified,
 // and an armed proc's wake time may only move earlier, never later.
 //
+// # Deterministic parallelism (Options.Parallel)
+//
+// The serial engine runs exactly one proc at a time.  With
+// Options{Parallel: true} the engine additionally exploits host
+// parallelism without changing a single modeled result: when several
+// procs are runnable at the same virtual timestamp, it releases them as
+// a batch and lets their compute phases run on concurrent goroutines
+// between synchronization points.  Correctness rests on a commit-token
+// discipline that keeps every *observable* event in exactly the serial
+// (time, id) order:
+//
+//   - Only procs whose effective resume time equals the current batch
+//     time run concurrently.  Steps at distinct virtual times never
+//     overlap in host time.
+//   - Within a batch, exactly one proc at a time — the serial-minimal
+//     unfinished one — holds the commit token.  Any cross-proc
+//     ("shared") operation must call Ctx.Gate first, which blocks until
+//     the caller holds the token.  Sends, non-blocking receives, probes
+//     and proc exit are shared operations; the vnet layer gates them.
+//     Everything a proc does before its first shared operation must
+//     touch only proc-private or immutable state, so it commutes with
+//     the other batch members and may run speculatively.
+//   - Procs spawned with the same group id (SpawnGroup) share mutable
+//     state outside the gated operations — e.g. a DSM processor's
+//     application thread and its service daemon share the page table —
+//     and are never released concurrently.
+//   - Mutations of state that a blocked proc's condition examines (an
+//     inbox, a queue) must additionally run inside Ctx.Sync, which makes
+//     them atomic with respect to condition evaluation and Notify; in
+//     parallel mode Source.Notify must only be called within Sync.
+//
+// Why modeled metrics cannot change: virtual clocks are proc-private;
+// message timing and accounting are computed inside gated sections whose
+// global order is forced to the serial schedule; and a step that never
+// performs a shared operation has, by construction, no effect any other
+// proc can observe, so its host-time position is free.  The serial mode
+// remains the differential oracle — the pinned golden grid is verified
+// in both modes.
+//
 // The engine distinguishes primary procs (application processes) from
 // daemon procs (protocol service threads).  A run completes when every
 // primary proc has returned; daemons may still be blocked at that point.
@@ -53,6 +92,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Time is virtual time in nanoseconds.
@@ -133,7 +173,8 @@ func (s *Source) remove(p *proc) {
 // Notify re-polls the condition of every proc waiting on s, arming in the
 // scheduler's wake-time heap those that became (or remain) resumable.
 // Call it after any mutation that could satisfy a waiter's condition or
-// move its wake time earlier.
+// move its wake time earlier.  In parallel mode, the mutation and the
+// Notify must together run inside Ctx.Sync.
 func (s *Source) Notify() {
 	for _, p := range s.waiters {
 		p.eng.repoll(p)
@@ -149,6 +190,7 @@ type proc struct {
 	id     int
 	name   string
 	daemon bool
+	group  int // procs sharing a group never run concurrently (-1: none)
 	state  procState
 	clock  Time
 	cond   Cond          // valid when state == stateBlocked (nil: pure time wait)
@@ -159,10 +201,23 @@ type proc struct {
 	hidx   int           // heap index; -1 when not armed
 	widx   int           // index in src.waiters; -1 when absent
 	pidx   int           // index in eng.polled; -1 when absent
+	ridx   int           // index in eng.released; -1 when absent (parallel)
 	resume chan Time     // scheduler -> proc: new clock value
 	body   func(*Ctx)
 	eng    *Engine
 	err    error // panic captured from the proc body
+}
+
+// Options selects engine behavior; the zero value is the serial engine.
+type Options struct {
+	// Parallel enables deterministic same-time step batching: procs
+	// runnable at the same virtual timestamp run their compute phases on
+	// concurrent goroutines, with all observable events forced into the
+	// serial (time, id) order by the commit-token discipline described in
+	// the package comment.  Modeled results are byte-identical to the
+	// serial engine; the proc bodies must follow the Gate/Sync/SpawnGroup
+	// contract (the vnet/tmk/pvm stack does).
+	Parallel bool
 }
 
 // Engine coordinates a set of procs over virtual time.
@@ -175,17 +230,51 @@ type Engine struct {
 	finished bool    // a termination signal has been sent
 	runDone  chan struct{}
 	started  bool
+
+	// Parallel mode (Options.Parallel).  mu protects every scheduling
+	// structure above plus the fields below; turn is broadcast when the
+	// commit token moves, quiet when a released goroutine parks.
+	par      bool
+	mu       sync.Mutex
+	turn     *sync.Cond
+	quiet    *sync.Cond
+	batchT   Time    // virtual time of the current batch
+	released []*proc // released, unfinished procs (running concurrently)
+	holder   *proc   // commit-token holder: the serial-minimal released proc
+	stopped  bool    // run over: released procs must unwind
+	liveRun  int     // goroutines currently executing a released step
 }
 
-// NewEngine returns an empty engine.  All procs must be spawned before Run.
+// NewEngine returns an empty serial engine.  All procs must be spawned
+// before Run.
 func NewEngine() *Engine {
-	return &Engine{runDone: make(chan struct{}, 1)}
+	return NewEngineOpts(Options{})
 }
+
+// NewEngineOpts returns an empty engine with the given options.
+func NewEngineOpts(o Options) *Engine {
+	e := &Engine{runDone: make(chan struct{}, 1), par: o.Parallel}
+	e.turn = sync.NewCond(&e.mu)
+	e.quiet = sync.NewCond(&e.mu)
+	return e
+}
+
+// Parallel reports whether the engine batches same-time steps.
+func (e *Engine) Parallel() bool { return e.par }
 
 // Spawn registers a new proc.  Primary procs (daemon=false) must all return
 // for Run to complete; daemon procs service requests and may be abandoned
 // while blocked.  Spawn must not be called after Run has started.
 func (e *Engine) Spawn(name string, daemon bool, body func(*Ctx)) {
+	e.SpawnGroup(name, daemon, -1, body)
+}
+
+// SpawnGroup is Spawn with a concurrency group: in parallel mode, procs
+// sharing a group id (>= 0) are never released concurrently, because they
+// share mutable state outside the gated operations (e.g. a DSM
+// processor's application thread and its service daemon share the page
+// table).  Group -1 means no such sharing.
+func (e *Engine) SpawnGroup(name string, daemon bool, group int, body func(*Ctx)) {
 	if e.started {
 		panic("sim: Spawn after Run")
 	}
@@ -193,10 +282,12 @@ func (e *Engine) Spawn(name string, daemon bool, body func(*Ctx)) {
 		id:     len(e.procs),
 		name:   name,
 		daemon: daemon,
+		group:  group,
 		state:  stateNew,
 		hidx:   -1,
 		widx:   -1,
 		pidx:   -1,
+		ridx:   -1,
 		resume: make(chan Time, 1),
 		body:   body,
 		eng:    e,
@@ -235,11 +326,309 @@ func (e *Engine) Run() error {
 		e.drain()
 		return nil
 	}
+	if e.par {
+		e.mu.Lock()
+		e.advanceLocked()
+		e.mu.Unlock()
+		<-e.runDone
+		// Quiesce: speculatively running procs unwind at their next gate
+		// or block; only then is engine and application state safe to read.
+		e.mu.Lock()
+		e.stopped = true
+		e.turn.Broadcast()
+		for e.liveRun > 0 {
+			e.quiet.Wait()
+		}
+		e.mu.Unlock()
+		e.drain()
+		return e.runErr
+	}
 	next, t := e.schedule()
 	e.handoff(next, t)
 	<-e.runDone
 	e.drain()
 	return e.runErr
+}
+
+// ---------------------------------------------------------------------
+// Parallel mode: same-time batch release with in-order commit.
+//
+// advanceLocked is the scheduling decision.  It replicates the serial
+// scheduler's pick — the minimum (key, id) over everything armed — but
+// over two populations: released procs still running their step (all at
+// the batch time) and the heap.  The pick becomes the commit-token
+// holder; armed heap procs at the batch time with no blocking condition
+// are additionally released speculatively, since nothing can disarm them
+// and their pre-gate execution touches only private state.
+
+// less orders procs by (key, id), the serial scheduling order.
+func (e *Engine) less(a, b *proc) bool {
+	return a.key < b.key || (a.key == b.key && a.id < b.id)
+}
+
+// advanceLocked recomputes the token holder after a scheduling event: a
+// step completing, a proc exiting, or run start.  Caller holds mu.
+func (e *Engine) advanceLocked() {
+	if e.finished || e.stopped {
+		return
+	}
+	if e.holder != nil {
+		// The current serial step is still in progress; only widen the
+		// speculative batch.
+		e.eagerLocked()
+		return
+	}
+	// Legacy source-less conditions are re-polled at every decision,
+	// matching the serial scheduler's per-step re-poll.
+	for _, q := range e.polled {
+		e.repoll(q)
+	}
+	for {
+		var cand *proc // serial-minimal released-unfinished proc
+		for _, q := range e.released {
+			if cand == nil || e.less(q, cand) {
+				cand = q
+			}
+		}
+		pick := cand
+		if len(e.heap) > 0 && (pick == nil || e.less(e.heap[0], pick)) {
+			pick = e.heap[0]
+		}
+		if pick == nil {
+			if len(e.released) == 0 && e.primLeft > 0 {
+				e.finishLocked(fmt.Errorf("sim: deadlock\n%s", e.dump()))
+			}
+			return
+		}
+		if pick == cand {
+			e.holder = cand
+			e.turn.Broadcast()
+			e.eagerLocked()
+			return
+		}
+		// The pick is armed in the heap: it starts the next serial step
+		// (and, when nothing is released, the next batch time).
+		if len(e.released) == 0 && pick.key > e.batchT {
+			e.batchT = pick.key
+		}
+		if e.groupBusyLocked(pick) {
+			// A speculatively released group-mate is still mid-step (e.g. a
+			// service daemon registering its first receive while its
+			// application thread re-armed at the batch time).  The pick
+			// must wait for the mate's memory to quiesce; nobody may
+			// commit shared work before the pick, so the token stays
+			// unassigned until the mate's step end re-runs this decision.
+			// The mate's speculative step cannot itself need the token: it
+			// was released with the pick not yet armed, i.e. ordered after
+			// nothing — a shared operation would have made it the pick.
+			return
+		}
+		e.releaseLocked(pick)
+		// Loop: the released pick is now the minimal candidate.
+	}
+}
+
+// eagerLocked speculatively releases every armed heap proc at the batch
+// time that has no blocking condition (nothing can disarm it or move its
+// wake time) and no released group-mate.  Caller holds mu.
+func (e *Engine) eagerLocked() {
+	for again := true; again; {
+		again = false
+		for _, q := range e.heap {
+			if q.key == e.batchT && q.cond == nil && !e.groupBusyLocked(q) {
+				e.releaseLocked(q)
+				again = true // heap order changed; rescan
+				break
+			}
+		}
+	}
+}
+
+// groupBusyLocked reports whether a released proc shares p's group.
+func (e *Engine) groupBusyLocked(p *proc) bool {
+	if p.group < 0 {
+		return false
+	}
+	for _, q := range e.released {
+		if q.group == p.group {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseLocked detaches an armed proc and starts its step on its own
+// goroutine.  Caller holds mu; p must be armed at the batch time.
+func (e *Engine) releaseLocked(p *proc) {
+	if p.key != e.batchT {
+		panic(fmt.Sprintf("sim: releasing %q at %v off batch time %v", p.name, p.key, e.batchT))
+	}
+	if e.groupBusyLocked(p) {
+		// Unreachable under positive-cost models: a group-mate can only be
+		// armed at the batch time when the batch formed, and the serial
+		// order then releases the lower id first.  Surface violations
+		// instead of racing on group-shared state.
+		panic(fmt.Sprintf("sim: proc %q released while group %d is running", p.name, p.group))
+	}
+	e.heapRemove(p)
+	if p.src != nil {
+		p.src.remove(p)
+		p.src = nil
+	}
+	if p.pidx >= 0 {
+		e.polledRemove(p)
+	}
+	p.cond, p.what, p.whatFn = nil, "", nil
+	p.state = stateRunning
+	p.ridx = len(e.released)
+	e.released = append(e.released, p)
+	e.liveRun++
+	p.resume <- p.key
+}
+
+func (e *Engine) releasedRemove(p *proc) {
+	i := p.ridx
+	last := len(e.released) - 1
+	e.released[i] = e.released[last]
+	e.released[i].ridx = i
+	e.released[last] = nil
+	e.released = e.released[:last]
+	p.ridx = -1
+}
+
+// finishLocked records the run outcome and signals Run.  Caller holds mu.
+func (e *Engine) finishLocked(err error) {
+	if e.finished {
+		return
+	}
+	e.finished = true
+	if e.runErr == nil {
+		e.runErr = err
+	}
+	e.turn.Broadcast() // wake token waiters so they observe the end
+	e.runDone <- struct{}{}
+}
+
+// abandonLocked unwinds a released proc once the run is over.  Caller
+// holds mu and must release it via defer: the abandoned panic unwinds
+// through the caller, and the proc's goroutine exits in proc.exit.
+func (e *Engine) abandonLocked(p *proc) {
+	if p.ridx >= 0 {
+		e.releasedRemove(p)
+	}
+	e.liveRun--
+	e.quiet.Broadcast()
+	panic(abandoned{})
+}
+
+// gate blocks until p holds the commit token (parallel mode only).
+func (e *Engine) gate(p *proc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.holder != p && !e.stopped {
+		e.turn.Wait()
+	}
+	if e.stopped {
+		e.abandonLocked(p)
+	}
+}
+
+// parWait is the parallel-mode step end: register the block, hand the
+// token on, and park.  The registration itself needs no token — a step
+// that reaches its end without a shared operation had no observable
+// effects, so its serial position is free, and registering early only
+// arms the proc in keyed structures whose content, not insertion order,
+// drives every decision.
+func (e *Engine) parWait(p *proc, src *Source, what string, whatFn func() string, cond Cond) {
+	func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if e.stopped {
+			e.abandonLocked(p)
+		}
+		p.state = stateBlocked
+		p.cond = cond
+		p.what = what
+		p.whatFn = whatFn
+		if cond == nil {
+			e.arm(p, p.clock)
+		} else {
+			p.src = src
+			if src != nil {
+				src.add(p)
+			} else {
+				e.polledAdd(p)
+			}
+			if wake, ok := cond(); ok {
+				key := p.clock
+				if wake > key {
+					key = wake
+				}
+				e.arm(p, key)
+			}
+		}
+		e.releasedRemove(p)
+		e.liveRun--
+		if e.holder == p {
+			e.holder = nil
+		}
+		e.advanceLocked()
+		e.quiet.Broadcast()
+	}()
+	t, ok := <-p.resume
+	if !ok {
+		panic(abandoned{})
+	}
+	p.clock = t
+}
+
+// parExit commits a proc's exit in serial order: returning decrements the
+// primary count and can end the run, both globally observable, so the
+// exit waits for the commit token like any shared operation.
+func (p *proc) parExit(r any) {
+	e := p.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if r != nil {
+		// A real panic ends the run immediately; serial order is moot.
+		p.err = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
+		p.state = stateDone
+		if p.ridx >= 0 {
+			e.releasedRemove(p)
+		}
+		e.liveRun--
+		if e.holder == p {
+			e.holder = nil
+		}
+		e.finishLocked(p.err)
+		e.quiet.Broadcast()
+		return
+	}
+	for e.holder != p && !e.stopped && !e.finished {
+		e.turn.Wait()
+	}
+	if e.stopped || e.finished {
+		if p.ridx >= 0 {
+			e.releasedRemove(p)
+		}
+		e.liveRun--
+		e.quiet.Broadcast()
+		return
+	}
+	p.state = stateDone
+	e.releasedRemove(p)
+	e.liveRun--
+	e.holder = nil
+	if !p.daemon {
+		e.primLeft--
+		if e.primLeft == 0 {
+			e.finishLocked(nil)
+			e.quiet.Broadcast()
+			return
+		}
+	}
+	e.advanceLocked()
+	e.quiet.Broadcast()
 }
 
 // ---------------------------------------------------------------------
@@ -462,12 +851,17 @@ func (p *proc) loop() {
 // and performs the final scheduling step on the departing goroutine.
 func (p *proc) exit() {
 	e := p.eng
-	if r := recover(); r != nil {
-		if IsAbandoned(r) {
-			// The engine shut this proc down after the run ended (or
-			// after another proc failed); exit without reporting.
-			return
-		}
+	r := recover()
+	if r != nil && IsAbandoned(r) {
+		// The engine shut this proc down after the run ended (or
+		// after another proc failed); exit without reporting.
+		return
+	}
+	if e.par {
+		p.parExit(r)
+		return
+	}
+	if r != nil {
 		p.err = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
 		p.state = stateDone
 		e.finish(p.err)
@@ -538,6 +932,10 @@ func (c *Ctx) WaitOnLazy(src *Source, whatFn func() string, cond Cond) {
 func (c *Ctx) waitOn(src *Source, what string, whatFn func() string, cond Cond) {
 	p := c.p
 	e := p.eng
+	if e.par {
+		e.parWait(p, src, what, whatFn, cond)
+		return
+	}
 	p.state = stateBlocked
 	p.cond = cond
 	p.what = what
@@ -585,6 +983,39 @@ func (c *Ctx) waitOn(src *Source, what string, whatFn func() string, cond Cond) 
 // earlier clocks run before this proc continues.
 func (c *Ctx) Yield() {
 	c.waitOn(nil, "yield", nil, nil)
+}
+
+// Gate marks a cross-proc ("shared") operation: in parallel mode it
+// blocks until the calling proc holds the commit token, forcing every
+// observable event into the serial (time, id) order.  Once acquired, the
+// token is held until the proc's step ends (its next Wait/WaitOn/Yield
+// or return), so a single Gate covers all subsequent shared work in the
+// step.  In serial mode Gate is free.  The vnet layer gates sends,
+// non-blocking receives and probes; code that mutates other cross-proc
+// state mid-step must gate likewise.
+func (c *Ctx) Gate() {
+	if c.p.eng.par {
+		c.p.eng.gate(c.p)
+	}
+}
+
+// Sync runs fn atomically with respect to the scheduler in parallel
+// mode.  It is required around mutations of state that a blocked proc's
+// condition examines (an inbox, a queue) together with the Source.Notify
+// that publishes them: condition evaluation happens under the same lock
+// at block-registration and Notify time, so Sync is what keeps a
+// speculatively registering proc from reading the state mid-mutation.
+// In serial mode Sync just calls fn.  Notify must only be called inside
+// Sync when the engine is parallel.
+func (c *Ctx) Sync(fn func()) {
+	e := c.p.eng
+	if !e.par {
+		fn()
+		return
+	}
+	e.mu.Lock()
+	fn()
+	e.mu.Unlock()
 }
 
 // abandoned is panicked through a proc body when the engine shuts it down.

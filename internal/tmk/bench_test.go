@@ -126,3 +126,26 @@ func BenchmarkFault(b *testing.B) {
 		b.Fatalf("faults = %d, want %d", faults, pages*k)
 	}
 }
+
+// faultAllocBudget is the ceiling on BenchmarkFault's allocs/op (one
+// 8-page fault round: write notices, minimal cover, diff request/
+// response, happens-before apply, two barriers).  History: 200 at PR 1,
+// 61 after the PR 2 arena work, 32 once the vnet.Message free-list
+// removed the per-send envelope allocation.  The budget leaves a little
+// headroom over the measured 32; raising it needs a written
+// justification in the commit that does.
+const faultAllocBudget = 40
+
+// TestFaultPathAllocBudget pins the fault path's GC footprint: a
+// steady-state faulting round must stay within faultAllocBudget
+// allocations.  This is the regression gate behind the free-list's
+// "last per-send allocation" claim.
+func TestFaultPathAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed budget check")
+	}
+	res := testing.Benchmark(BenchmarkFault)
+	if got := res.AllocsPerOp(); got > faultAllocBudget {
+		t.Errorf("fault round allocates %d times, budget %d", got, faultAllocBudget)
+	}
+}

@@ -1,0 +1,102 @@
+package tmk
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vnet"
+)
+
+// runEagerPair runs a two-processor producer/consumer program — proc 0
+// writes a page region and crosses a barrier, proc 1 reads it back —
+// and returns the values proc 1 observed plus the wire stats.
+func runEagerPair(t *testing.T, eager bool, rounds int) ([]int64, vnet.Stats) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.EagerInvalidate = eager
+	e := sim.NewEngine()
+	n := vnet.New(vnet.FDDI())
+	s := NewSystem(e, n, 2, cfg)
+	base := s.MallocPageAligned(8 * rounds)
+	got := make([]int64, rounds)
+	s.Spawn(0, func(p *Proc) {
+		for r := 0; r < rounds; r++ {
+			p.WriteI64(base+Addr(8*r), int64(100+r))
+			p.Barrier(2 * r)
+			p.Barrier(2*r + 1)
+		}
+	})
+	s.Spawn(1, func(p *Proc) {
+		for r := 0; r < rounds; r++ {
+			p.Barrier(2 * r)
+			got[r] = p.ReadI64(base + Addr(8*r))
+			p.Barrier(2*r + 1)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return got, s.Stats()
+}
+
+// TestEagerInvalidateConformance pins the eager-invalidate knob's
+// contract: identical application-visible values, strictly more wire
+// messages (every interval close broadcasts its notices instead of
+// piggybacking them on synchronization replies).
+func TestEagerInvalidateConformance(t *testing.T) {
+	const rounds = 6
+	lazyVals, lazyStats := runEagerPair(t, false, rounds)
+	eagerVals, eagerStats := runEagerPair(t, true, rounds)
+	for r := 0; r < rounds; r++ {
+		want := int64(100 + r)
+		if lazyVals[r] != want {
+			t.Errorf("lazy round %d: got %d, want %d", r, lazyVals[r], want)
+		}
+		if eagerVals[r] != want {
+			t.Errorf("eager round %d: got %d, want %d", r, eagerVals[r], want)
+		}
+	}
+	if eagerStats.Messages <= lazyStats.Messages {
+		t.Errorf("eager sent %d messages, lazy %d: eager mode must broadcast extra invalidations",
+			eagerStats.Messages, lazyStats.Messages)
+	}
+}
+
+// TestEagerInvalidateLockHandoff exercises the deferral paths: a
+// lock-protected counter is incremented by both processors while eager
+// broadcasts race the critical sections (twinned pages, mid-fault
+// pages), and the final total must still be exact.
+func TestEagerInvalidateLockHandoff(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EagerInvalidate = true
+	e := sim.NewEngine()
+	n := vnet.New(vnet.FDDI())
+	s := NewSystem(e, n, 2, cfg)
+	cnt := s.MallocPageAligned(8)
+	scratch := s.MallocPageAligned(8 * 64)
+	const itersPer = 25
+	var final int64
+	body := func(p *Proc) {
+		for i := 0; i < itersPer; i++ {
+			p.LockAcquire(0)
+			p.WriteI64(cnt, p.ReadI64(cnt)+1)
+			p.LockRelease(0)
+			// Off-lock writes keep pages twinned while remote broadcasts
+			// arrive, exercising the busy-page deferral.
+			p.WriteI64(scratch+Addr(8*((i+p.ID()*7)%64)), int64(i))
+		}
+		p.Barrier(0)
+		if p.ID() == 0 {
+			final = p.ReadI64(cnt)
+		}
+		p.Barrier(1)
+	}
+	s.Spawn(0, body)
+	s.Spawn(1, body)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if final != 2*itersPer {
+		t.Errorf("counter = %d, want %d", final, 2*itersPer)
+	}
+}

@@ -73,6 +73,18 @@ type Config struct {
 	DiffCreatePerByte sim.Time // page comparison cost at interval close
 	DiffApplyPerByte  sim.Time // cost of applying received diff payload
 	HandlerOverhead   sim.Time // service-side cost per handled request
+
+	// EagerInvalidate switches the consistency protocol from the paper's
+	// lazy release consistency to an eager-invalidate variant: every
+	// interval close (lock release, barrier arrival) broadcasts its write
+	// notices to all other processors immediately, instead of letting
+	// them piggyback on the next grant or barrier departure.  Receivers
+	// invalidate as soon as the notice arrives (deferred only while the
+	// named page is mid-write locally, see handleInval), so reads see
+	// remote updates at the earliest sequentially-consistent-like point
+	// rather than at the next acquire.  This is the one-knob ablation for
+	// the cost of eagerness: same applications, strictly more messages.
+	EagerInvalidate bool
 }
 
 // DefaultConfig models a mid-1990s HP PA-RISC workstation (4 KB pages).
@@ -120,6 +132,7 @@ func NewSystem(eng *sim.Engine, net *vnet.Network, n int, cfg Config) *System {
 			locks:     map[int]*plock{},
 			recs:      make([][]*IntervalRec, n),
 			lastMgrVC: NewVC(n),
+			faultPg:   -1,
 		}
 		if i == 0 {
 			p.barrier = &barrierState{id: -1}
@@ -131,6 +144,9 @@ func NewSystem(eng *sim.Engine, net *vnet.Network, n int, cfg Config) *System {
 
 // N returns the number of processors.
 func (s *System) N() int { return s.n }
+
+// Proc returns processor id's state (behavioral counters, etc.).
+func (s *System) Proc(id int) *Proc { return s.procs[id] }
 
 // PageSize returns the configured page size.
 func (s *System) PageSize() int { return s.cfg.PageSize }
@@ -227,12 +243,15 @@ func (s *System) Spawn(id int, body func(*Proc)) {
 	}
 	s.started = true
 	p := s.procs[id]
-	s.eng.Spawn(fmt.Sprintf("tmk%d", id), false, func(c *sim.Ctx) {
+	// The application thread and the service daemon share the processor's
+	// state (page table, diff store, lock table): the same engine group
+	// keeps them off concurrent goroutines in parallel mode.
+	s.eng.SpawnGroup(fmt.Sprintf("tmk%d", id), false, id, func(c *sim.Ctx) {
 		p.app = c
 		p.initPages()
 		body(p)
 	})
-	s.eng.Spawn(fmt.Sprintf("tmk%d.srv", id), true, func(c *sim.Ctx) {
+	s.eng.SpawnGroup(fmt.Sprintf("tmk%d.srv", id), true, id, func(c *sim.Ctx) {
 		p.serve(c)
 	})
 }
@@ -437,6 +456,8 @@ type Proc struct {
 	locks     map[int]*plock
 	lastMgrVC VC // barrier manager's merged vc at the last departure
 	barrier   *barrierState
+	pendInv   []*IntervalRec // eager notices deferred while a page was busy
+	faultPg   int            // page mid-fault (service may not invalidate it); -1 otherwise
 
 	// Access fast path (views.go): cached [lo,hi) address windows of the
 	// last page hit by a scalar read (valid, data present) and write
@@ -527,9 +548,12 @@ func (p *Proc) manager(lockID int) int { return lockID % p.sys.n }
 
 // closeInterval ends the current interval: every twinned page is diffed,
 // the diff cached, and an interval record published (paper §2.2.2).
-// No-op if nothing was written.
+// No-op if nothing was written.  In eager-invalidate mode it also
+// broadcasts the new record and applies any notices that were deferred
+// while their pages were twinned (no page is twinned past this point).
 func (p *Proc) closeInterval() {
 	if len(p.dirty) == 0 {
+		p.drainInvalidations()
 		return
 	}
 	sort.Ints(p.dirty)
@@ -552,10 +576,78 @@ func (p *Proc) closeInterval() {
 	p.dirty = p.dirty[:0]
 	p.wc = accCache{} // twins dropped: writes must re-twin via the slow path
 	p.vc[p.id]++
-	// Timestamp includes the interval itself.
+	// Timestamp includes the interval itself.  The snapshot is taken
+	// before draining deferred notices: a record may only claim coverage
+	// of intervals whose diffs this processor has actually applied, or
+	// the minimal-cover dominance argument would contact a writer for
+	// diffs it never fetched.
 	rec.VC = p.arena.newVC(p.sys.n)
 	copy(rec.VC, p.vc)
 	p.recs[p.id] = append(p.recs[p.id], rec)
+	if p.sys.cfg.EagerInvalidate {
+		p.broadcastInvalidation(rec)
+		p.drainInvalidations()
+	}
+}
+
+// broadcastInvalidation ships a freshly closed interval's write notices
+// to every other processor's service daemon (eager-invalidate mode).
+func (p *Proc) broadcastInvalidation(rec *IntervalRec) {
+	if p.sys.n == 1 {
+		return
+	}
+	m := &invMsg{From: p.id, Records: []*IntervalRec{rec}}
+	size := m.wireSize()
+	for q := 0; q < p.sys.n; q++ {
+		if q == p.id {
+			continue
+		}
+		p.ep.SendObj(p.app, p.sys.procs[q].srv, tagInval, m, size)
+	}
+}
+
+// handleInval runs in the service daemon on an eager invalidation.  A
+// record is applied immediately unless one of its pages is busy — twinned
+// (the application thread is mid-write: invalidating now would tear the
+// interval) or mid-fault (the fault already chose which diffs to fetch;
+// a new notice would be applied without its diff) — or earlier notices
+// are already deferred (per-writer order must hold).  Deferred records
+// wait for the next interval close, when no page is busy; a record that
+// meanwhile arrives through a grant or departure is applied there and
+// skipped as a duplicate at drain time.
+func (p *Proc) handleInval(m *invMsg) {
+	if len(p.pendInv) == 0 && !p.recsTouchBusy(m.Records) {
+		p.applyRecords(m.Records)
+		return
+	}
+	p.pendInv = append(p.pendInv, m.Records...)
+}
+
+// recsTouchBusy reports whether any record names a twinned or mid-fault
+// page.
+func (p *Proc) recsTouchBusy(recs []*IntervalRec) bool {
+	for _, r := range recs {
+		if r.Proc == p.id {
+			continue
+		}
+		for _, pid := range r.Pages {
+			if pid == p.faultPg || p.pages[pid].twin != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// drainInvalidations applies the deferred eager notices.  Callers
+// guarantee no page is twinned (interval just closed, or none was open).
+func (p *Proc) drainInvalidations() {
+	if len(p.pendInv) == 0 {
+		return
+	}
+	recs := p.pendInv
+	p.pendInv = p.pendInv[:0]
+	p.applyRecords(recs)
 }
 
 // recsByProcIdx orders interval records by (Proc, Idx).
@@ -701,6 +793,7 @@ func (p *Proc) LockAcquire(id int) {
 	m := p.ep.Recv(p.app, -1, tagGrant)
 	p.LockWait += p.app.Now() - t0
 	g := m.Obj.(*grantMsg)
+	p.ep.Free(p.app, m) // grant extracted; recycle the envelope
 	if g.Lock != id {
 		panic(fmt.Sprintf("tmk: proc %d got grant for lock %d while acquiring %d", p.id, g.Lock, id))
 	}
@@ -763,6 +856,7 @@ func (p *Proc) Barrier(id int) {
 	m := p.ep.Recv(p.app, 0, tagBarrDepart)
 	p.BarrierWait += p.app.Now() - t0
 	dep := m.Obj.(*barrMsg)
+	p.ep.Free(p.app, m) // departure extracted; recycle the envelope
 	if dep.Barrier != id {
 		panic(fmt.Sprintf("tmk: proc %d got departure for barrier %d while in %d", p.id, dep.Barrier, id))
 	}
@@ -866,9 +960,11 @@ func (p *Proc) serve(ctx *sim.Ctx) {
 	for {
 		m := p.srv.Recv(ctx, -1, -1)
 		ctx.Compute(p.sys.cfg.HandlerOverhead)
-		switch m.Tag {
+		tag, obj := m.Tag, m.Obj
+		p.srv.Free(ctx, m) // handlers keep the Obj, never the envelope
+		switch tag {
 		case tagAcqReq:
-			req := m.Obj.(*acqMsg)
+			req := obj.(*acqMsg)
 			lk := p.lock(req.Lock)
 			prev := lk.mgrLast
 			lk.mgrLast = req.Requester
@@ -879,16 +975,18 @@ func (p *Proc) serve(ctx *sim.Ctx) {
 				p.LockMsgs++
 			}
 		case tagAcqFwd:
-			p.grantOrQueue(ctx, m.Obj.(*acqMsg))
+			p.grantOrQueue(ctx, obj.(*acqMsg))
 		case tagBarrArrive:
 			if p.id != 0 {
 				panic("tmk: barrier arrival at non-manager")
 			}
-			p.handleBarrArrive(ctx, m.Obj.(*barrMsg))
+			p.handleBarrArrive(ctx, obj.(*barrMsg))
 		case tagDiffReq:
-			p.handleDiffReq(ctx, m.Obj.(*diffReqMsg))
+			p.handleDiffReq(ctx, obj.(*diffReqMsg))
+		case tagInval:
+			p.handleInval(obj.(*invMsg))
 		default:
-			panic(fmt.Sprintf("tmk: service got unexpected tag %d", m.Tag))
+			panic(fmt.Sprintf("tmk: service got unexpected tag %d", tag))
 		}
 	}
 }
@@ -948,6 +1046,10 @@ func (p *Proc) fault(pid int) {
 	p.app.Compute(cfg.FaultOverhead)
 	p.Faults++
 	pg := p.pages[pid]
+	// The fault spans service-daemon activity (it blocks for diff
+	// responses): eager invalidations for this page must queue until the
+	// pending-notice set chosen below has been applied.
+	p.faultPg = pid
 
 	// Which write notices lack local diffs?
 	missing := p.missBuf[:0]
@@ -977,6 +1079,7 @@ func (p *Proc) fault(pid int) {
 		for i := range targets {
 			m := p.ep.Recv(p.app, targets[i].proc, tagDiffResp)
 			resp := m.Obj.(*diffRespMsg)
+			p.ep.Free(p.app, m) // response extracted; recycle the envelope
 			if resp.Page != pid {
 				panic("tmk: diff response for wrong page")
 			}
@@ -990,6 +1093,7 @@ func (p *Proc) fault(pid int) {
 	// Apply every pending notice's diff in happens-before order.
 	p.applyPending(pid)
 	pg.valid = true
+	p.faultPg = -1
 }
 
 // coverTarget is one processor to ask, and what to ask it for.

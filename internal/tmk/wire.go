@@ -15,6 +15,7 @@ const (
 	tagBarrDepart              // barrier manager service -> client app
 	tagDiffReq                 // faulting app -> writer's service
 	tagDiffResp                // writer's service -> faulting app
+	tagInval                   // eager mode: writer app -> all other services
 )
 
 // wbuf is a little-endian wire encoder.  Encoders that know their final
@@ -272,6 +273,30 @@ func (m *barrMsg) encode() []byte {
 func decodeBarr(b []byte) *barrMsg {
 	r := rbuf{b: b}
 	m := &barrMsg{Barrier: r.u16(), From: r.u16(), VC: r.vc()}
+	m.Records = decodeRecords(&r)
+	r.done()
+	return m
+}
+
+// invMsg is an eager-invalidate broadcast: the write notices of one
+// freshly closed interval (Config.EagerInvalidate).
+type invMsg struct {
+	From    int
+	Records []*IntervalRec
+}
+
+func (m *invMsg) wireSize() int { return 2 + recordsSize(m.Records) }
+
+func (m *invMsg) encode() []byte {
+	w := newWbuf(m.wireSize())
+	w.u16(m.From)
+	encodeRecords(&w, m.Records)
+	return w.b
+}
+
+func decodeInval(b []byte) *invMsg {
+	r := rbuf{b: b}
+	m := &invMsg{From: r.u16()}
 	m.Records = decodeRecords(&r)
 	r.done()
 	return m

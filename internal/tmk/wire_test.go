@@ -105,11 +105,28 @@ func TestWireSizeMatchesEncoding(t *testing.T) {
 			(&diffReqMsg{Page: 42, Requester: 6, Wants: []diffWant{{1, 9}, {3, 0}}}).encode()},
 		{"diffresp", (&diffRespMsg{Page: 3, Entries: []diffEntry{{Proc: 1, Idx: 2, Diff: d1}, {Proc: 0, Idx: 0, Diff: d2}}}).wireSize(),
 			(&diffRespMsg{Page: 3, Entries: []diffEntry{{Proc: 1, Idx: 2, Diff: d1}, {Proc: 0, Idx: 0, Diff: d2}}}).encode()},
+		{"inval", (&invMsg{From: 2, Records: recs}).wireSize(),
+			(&invMsg{From: 2, Records: recs}).encode()},
 	}
 	for _, c := range cases {
 		if c.size != len(c.enc) {
 			t.Errorf("%s: wireSize %d != encoded length %d", c.name, c.size, len(c.enc))
 		}
+	}
+}
+
+func TestInvalMsgRoundTrip(t *testing.T) {
+	m := &invMsg{From: 3, Records: []*IntervalRec{
+		{Proc: 3, Idx: 11, VC: VC{1, 2, 3, 12}, Pages: []int{5, 6, 7, 20}},
+	}}
+	got := decodeInval(m.encode())
+	if got.From != 3 || len(got.Records) != 1 {
+		t.Fatalf("got %+v", got)
+	}
+	r := got.Records[0]
+	if r.Proc != 3 || r.Idx != 11 || !reflect.DeepEqual(r.VC, VC{1, 2, 3, 12}) ||
+		!reflect.DeepEqual(r.Pages, []int{5, 6, 7, 20}) {
+		t.Fatalf("record = %+v", r)
 	}
 }
 

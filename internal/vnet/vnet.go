@@ -36,6 +36,17 @@
 // whose message volume dominates host time (TreadMarks diff traffic) use
 // this path; their byte encodings remain the documented wire format,
 // test-pinned to produce exactly the declared sizes.
+//
+// # Message recycling and the parallel engine
+//
+// Message structs are pooled: a receiver that has fully extracted a
+// message's Payload/Obj hands the struct back with Endpoint.Free, and
+// the next send reuses it — in steady state a send allocates nothing.
+// The layer is also the engine's shared-operation boundary in parallel
+// mode (sim.Options{Parallel}): sends, non-blocking receives, probes
+// and frees gate into the serial commit order via Ctx.Gate, and inbox
+// delivery runs inside Ctx.Sync so a blocked receiver's wake condition
+// never observes a half-filed inbox.
 package vnet
 
 import (
@@ -138,6 +149,23 @@ type Network struct {
 	cfg   Config
 	seq   uint64
 	stats Stats // wire-level totals across all endpoints
+
+	// pool recycles Message structs between xmit and Free.  It is only
+	// touched inside gated sections (xmit gates; Free gates), so one
+	// plain slice serves both engine modes.
+	pool []*Message
+}
+
+// alloc returns a zeroed Message, recycling freed ones.
+func (n *Network) alloc() *Message {
+	if k := len(n.pool); k > 0 {
+		m := n.pool[k-1]
+		n.pool[k-1] = nil
+		n.pool = n.pool[:k-1]
+		*m = Message{}
+		return m
+	}
+	return &Message{}
 }
 
 // New creates a network with the given cost model.
@@ -273,15 +301,20 @@ func (e *Endpoint) xmit(ctx *sim.Ctx, dst *Endpoint, tag int, payload []byte, ob
 	if dst == nil {
 		panic("vnet: send to nil endpoint")
 	}
+	// A send mutates cross-proc state (sequence counter, statistics, the
+	// destination inbox): it is a shared operation in the engine's
+	// parallel mode and must commit in serial order.
+	ctx.Gate()
 	cfg := e.net.cfg
 	if dst.node == e.node {
 		// Loopback: a process talking to another process (or daemon) on
 		// its own node.  No wire traffic, no accounting.
 		ctx.Compute(cfg.LocalOverhead)
 		e.net.seq++
-		m := &Message{From: e.node, To: dst.node, Tag: tag, Payload: payload, Obj: obj,
+		m := e.net.alloc()
+		*m = Message{From: e.node, To: dst.node, Tag: tag, Payload: payload, Obj: obj,
 			Arrival: ctx.Now() + cfg.LocalDelay, size: size, seq: e.net.seq, local: true}
-		dst.deliver(m)
+		dst.deliver(ctx, m)
 		return 1
 	}
 	frags := 1
@@ -297,9 +330,10 @@ func (e *Endpoint) xmit(ctx *sim.Ctx, dst *Endpoint, tag int, payload []byte, ob
 	arrival := ctx.Now() + cfg.Latency
 
 	e.net.seq++
-	m := &Message{From: e.node, To: dst.node, Tag: tag, Payload: payload, Obj: obj,
+	m := e.net.alloc()
+	*m = Message{From: e.node, To: dst.node, Tag: tag, Payload: payload, Obj: obj,
 		Arrival: arrival, size: size, seq: e.net.seq}
-	dst.deliver(m)
+	dst.deliver(ctx, m)
 
 	// Accounting.
 	if e.datagram {
@@ -317,18 +351,23 @@ func (e *Endpoint) xmit(ctx *sim.Ctx, dst *Endpoint, tag int, payload []byte, ob
 }
 
 // deliver files m into its (from, tag) bucket and wakes the endpoint's
-// waiter, if any.
-func (e *Endpoint) deliver(m *Message) {
-	key := [2]int{m.From, m.Tag}
-	b := e.index[key]
-	if b == nil {
-		b = &bucket{from: m.From, tag: m.Tag}
-		e.index[key] = b
-		e.order = append(e.order, b)
-	}
-	b.put(m)
-	e.queued++
-	e.wake.Notify()
+// waiter, if any.  The inbox mutation and the Notify run inside Sync:
+// the owner's receive condition reads this inbox when it registers a
+// block, which in parallel mode may happen concurrently with a sender's
+// gated step.
+func (e *Endpoint) deliver(ctx *sim.Ctx, m *Message) {
+	ctx.Sync(func() {
+		key := [2]int{m.From, m.Tag}
+		b := e.index[key]
+		if b == nil {
+			b = &bucket{from: m.From, tag: m.Tag}
+			e.index[key] = b
+			e.order = append(e.order, b)
+		}
+		b.put(m)
+		e.queued++
+		e.wake.Notify()
+	})
 }
 
 // peek returns the earliest message matching (from, tag) and the bucket
@@ -365,12 +404,22 @@ func (e *Endpoint) take(b *bucket) *Message {
 
 // Recv blocks until a message matching (from, tag) arrives, consumes it,
 // and charges the receiver's clock.  Negative from/tag are wildcards.
+//
+// The returned message is owned by the caller.  Once its Payload/Obj has
+// been fully extracted, the caller should hand the struct back with Free
+// — in the same step that received it — so the next send reuses it
+// instead of allocating; a message never freed is merely garbage.
 func (e *Endpoint) Recv(ctx *sim.Ctx, from, tag int) *Message {
 	if e.wake.HasWaiter() {
 		panic(fmt.Sprintf("vnet: concurrent Recv on endpoint %d (endpoints are single-consumer)", e.node))
 	}
 	e.wFrom, e.wTag, e.wArmed = from, tag, true
 	ctx.WaitOnLazy(&e.wake, e.wWhat, e.wCond)
+	// Consuming mutates the inbox: a shared operation.  A proc woken from
+	// a condition block already holds the commit token (the scheduler only
+	// releases condition-blocked procs at their serial turn), so this gate
+	// is a cheap assertion-grade recheck.
+	ctx.Gate()
 	// Consume: disarm the wake filter first so it is never evaluated
 	// against this Recv's (now dead) parameters.
 	e.wArmed = false
@@ -385,8 +434,9 @@ func (e *Endpoint) Recv(ctx *sim.Ctx, from, tag int) *Message {
 
 // TryRecv consumes a matching message that has already arrived (arrival
 // time not after the caller's clock) without blocking.  Returns nil if no
-// such message is present.
+// such message is present.  The ownership/Free contract matches Recv.
 func (e *Endpoint) TryRecv(ctx *sim.Ctx, from, tag int) *Message {
+	ctx.Gate() // inbox read+consume: shared operation
 	b, m := e.peek(from, tag)
 	if m == nil || m.Arrival > ctx.Now() {
 		return nil
@@ -399,8 +449,21 @@ func (e *Endpoint) TryRecv(ctx *sim.Ctx, from, tag int) *Message {
 // Probe reports whether a matching message has arrived by the caller's
 // clock, without consuming it.
 func (e *Endpoint) Probe(ctx *sim.Ctx, from, tag int) bool {
+	ctx.Gate() // inbox read: shared operation
 	_, m := e.peek(from, tag)
 	return m != nil && m.Arrival <= ctx.Now()
+}
+
+// Free returns a consumed message struct to the network's recycling
+// pool.  Contract: the caller received m from Recv/TryRecv on this
+// endpoint, has extracted everything it needs (the Payload slice and Obj
+// remain valid — only the struct is recycled), calls Free at most once,
+// and does so in the step that consumed the message.  Freeing is what
+// makes steady-state sends allocation-free.
+func (e *Endpoint) Free(ctx *sim.Ctx, m *Message) {
+	ctx.Gate() // pool access: shared operation
+	m.Payload, m.Obj = nil, nil
+	e.net.pool = append(e.net.pool, m)
 }
 
 // Pending reports the number of queued messages (any arrival time).
