@@ -34,7 +34,9 @@
 //
 //	-apps a,b,..      apps to run (default: all twelve)
 //	-backends a,b,..  backends (default tmk,pvm; see 'msvdsm list')
-//	-scenarios a,..   scenario sets: base, page, mtu, bw, colocated
+//	-scenarios a,..   scenario sets: base, page, mtu, bw, lat, handler,
+//	                colocated, and the fault axes loss, dup, reorder,
+//	                partition, slow (seeded fault injection; see vnet)
 //	-nprocs 2,4,8     processor counts the scenario sets expand at
 package main
 

@@ -160,8 +160,12 @@ func (a *app) PVM(p *pvm.Proc) {
 			integrate(bodies, b, accs[b])
 		}
 		p.Compute(sim.Time(len(mine)) * cfg.UpdateCost)
-		// Broadcast my updated bodies; receive everyone else's.
+		// Broadcast my updated bodies; receive everyone else's.  The tag
+		// carries the step: with a wildcard source and per-link in-order
+		// delivery, a delayed peer's message must not be displaced by a
+		// faster peer's next-step broadcast.
 		if p.N() > 1 {
+			tag := tagBodies + st
 			b := p.InitSend()
 			idx := make([]int32, len(mine))
 			vals := make([]float64, 6*len(mine))
@@ -172,9 +176,9 @@ func (a *app) PVM(p *pvm.Proc) {
 			b.PackOneInt32(int32(len(mine)))
 			b.PackInt32(idx, len(idx), 1)
 			b.PackFloat64(vals, len(vals), 1)
-			p.Bcast(tagBodies)
+			p.Bcast(tag)
 			for got := 0; got < p.N()-1; got++ {
-				r := p.Recv(-1, tagBodies)
+				r := p.Recv(-1, tag)
 				cnt := int(r.UnpackOneInt32())
 				ridx := make([]int32, cnt)
 				rvals := make([]float64, 6*cnt)

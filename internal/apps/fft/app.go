@@ -150,6 +150,9 @@ func (a *app) PVM(p *pvm.Proc) {
 	copy(prev, cfg.initData()[lo*plane:hi*plane])
 	cur := make([]float64, (hi-lo)*plane)
 	for it := 0; it < cfg.Iters; it++ {
+		// Iteration-distinct tag: the wildcard receive must not conflate
+		// a delayed peer's block with a faster peer's next-iteration one.
+		tag := tagBlock + it
 		// Send each destination owner the block src[z][x][y] for z in
 		// my planes, x in theirs, all y.
 		for q := 0; q < nprocs; q++ {
@@ -166,7 +169,7 @@ func (a *app) PVM(p *pvm.Proc) {
 			}
 			b := p.InitSend()
 			b.PackFloat64(blk, len(blk), 1)
-			p.Send(q, tagBlock)
+			p.Send(q, tag)
 		}
 		// Scatter my own contribution: cur[x][y][z] = prev[z][x][y].
 		for z := lo; z < hi; z++ {
@@ -180,7 +183,7 @@ func (a *app) PVM(p *pvm.Proc) {
 		}
 		// Receive and scatter the other blocks.
 		for recvd := 0; recvd < nprocs-1; recvd++ {
-			r := p.Recv(-1, tagBlock)
+			r := p.Recv(-1, tag)
 			qlo, qhi := span(n, nprocs, r.Src())
 			blk := make([]float64, 2*(qhi-qlo)*(hi-lo)*n)
 			r.UnpackFloat64(blk, len(blk), 1)

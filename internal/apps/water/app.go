@@ -211,14 +211,18 @@ func (a *app) PVM(p *pvm.Proc) {
 	acc := make([]int64, 3*cfg.Mols)
 	forces := make([]int64, 3*cfg.Mols)
 	for step := 0; step < cfg.Steps; step++ {
+		// Step-distinct tags (pos odd, frc even): the wildcard receives
+		// must not conflate a delayed peer's message with a faster peer's
+		// next-step traffic.
+		posTag, frcTag := tagPos+2*step, tagFrc+2*step
 		// Exchange displacements.
 		if len(audience) > 0 {
 			b := p.InitSend()
 			b.PackFloat64(ps.pos[3*lo:3*hi], 3*(hi-lo), 1)
-			p.Mcast(audience, tagPos)
+			p.Mcast(audience, posTag)
 		}
 		for range window {
-			r := p.Recv(-1, tagPos)
+			r := p.Recv(-1, posTag)
 			qlo, qhi := chunk(cfg.Mols, nprocs, r.Src())
 			r.UnpackFloat64(ps.pos[3*qlo:3*qhi], 3*(qhi-qlo), 1)
 		}
@@ -232,13 +236,13 @@ func (a *app) PVM(p *pvm.Proc) {
 			qlo, qhi := chunk(cfg.Mols, nprocs, q)
 			b := p.InitSend()
 			b.PackInt64(acc[3*qlo:3*qhi], 3*(qhi-qlo), 1)
-			p.Send(q, tagFrc)
+			p.Send(q, frcTag)
 		}
 		for i := 3 * lo; i < 3*hi; i++ {
 			forces[i] = acc[i]
 		}
 		for range audience {
-			r := p.Recv(-1, tagFrc)
+			r := p.Recv(-1, frcTag)
 			contrib := make([]int64, 3*(hi-lo))
 			r.UnpackInt64(contrib, 3*(hi-lo), 1)
 			for i := range contrib {

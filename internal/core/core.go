@@ -52,14 +52,10 @@ type Config struct {
 	// physical arrangement: master/slave-0 traffic crosses loopback and
 	// is not counted as user messages.  The default (false) keeps the
 	// seed behavior of a master on its own node, where every master/slave
-	// exchange is a real message.
-	//
-	// Caveat: receive filters and Buffer.Src() identify senders by node,
-	// so a co-located master is indistinguishable from slave 0 to a
-	// receiver.  The app's protocol must keep them apart by message tag
-	// (as the paper's master/slave apps do: master-bound and slave-bound
-	// tags are disjoint) and must not dispatch on Src() of messages that
-	// could come from either.  See pvm.SpawnExtraAt.
+	// exchange is a real message.  Messages carry the sender's process
+	// id, so receive filters and Buffer.Src() distinguish a co-located
+	// master from slave 0; placement affects cost and accounting only.
+	// See pvm.SpawnExtraAt.
 	MasterColocated bool
 }
 
@@ -81,6 +77,7 @@ type Result struct {
 	DiffBytes    int64
 	LockWait     sim.Time // total time blocked in remote lock acquires
 	BarrierWait  sim.Time // total time blocked in barriers
+	Timeouts     int      // RPC timeouts fired under fault injection
 }
 
 // RunSeq executes the sequential program body on a single simulated
@@ -116,6 +113,7 @@ func RunTMK(cfg Config, setup func(sys *tmk.System), body func(p *tmk.Proc)) (Re
 		res.DiffBytes += p.DiffBytes
 		res.LockWait += p.LockWait
 		res.BarrierWait += p.BarrierWait
+		res.Timeouts += p.Timeouts
 	}
 	return res, nil
 }

@@ -296,6 +296,10 @@ func TestGridWorkersStress(t *testing.T) {
 	}
 	mk := func(par bool, workers int) Grid {
 		scs := BaseScenarios(2, 4)
+		// One lossy cell rides along: recovery traffic (timeouts,
+		// retransmissions, ARQ delays) must be just as mode-independent
+		// as the fault-free runs.
+		scs = append(scs, LossScenarios(4, 0.05)...)
 		for i := range scs {
 			scs[i].Parallel = par
 		}

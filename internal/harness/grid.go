@@ -31,6 +31,13 @@ type Record struct {
 	Messages int64   `json:"messages"`
 	Bytes    int64   `json:"bytes"`
 
+	// Fault-injection accounting (zero on a fault-free network): wire
+	// transmissions killed by the fault layer, retransmitted/duplicated
+	// ones, and protocol RPC timeouts fired.
+	Dropped  int64 `json:"dropped,omitempty"`
+	Retrans  int64 `json:"retrans,omitempty"`
+	Timeouts int   `json:"timeouts,omitempty"`
+
 	Faults        int   `json:"faults,omitempty"`
 	DiffRequests  int   `json:"diff_requests,omitempty"`
 	DiffsApplied  int   `json:"diffs_applied,omitempty"`
@@ -60,6 +67,10 @@ func recordOf(app core.App, b core.Backend, sc core.Scenario, res core.Result) R
 		Seconds:  res.Time.Seconds(),
 		Messages: res.Net.Messages,
 		Bytes:    res.Net.Bytes,
+
+		Dropped:  res.Net.Dropped,
+		Retrans:  res.Net.Retrans,
+		Timeouts: res.Timeouts,
 
 		Faults:        res.Faults,
 		DiffRequests:  res.DiffRequests,
@@ -220,6 +231,7 @@ func WriteJSON(w io.Writer, recs []Record) error {
 var csvHeader = []string{
 	"app", "figure", "problem", "backend", "scenario", "procs",
 	"time_ns", "seconds", "messages", "bytes",
+	"dropped", "retrans", "timeouts",
 	"faults", "diff_requests", "diffs_applied", "diff_bytes",
 	"lock_wait_ns", "barrier_wait_ns",
 }
@@ -238,6 +250,9 @@ func WriteCSV(w io.Writer, recs []Record) error {
 			strconv.FormatFloat(r.Seconds, 'g', -1, 64),
 			strconv.FormatInt(r.Messages, 10),
 			strconv.FormatInt(r.Bytes, 10),
+			strconv.FormatInt(r.Dropped, 10),
+			strconv.FormatInt(r.Retrans, 10),
+			strconv.Itoa(r.Timeouts),
 			strconv.Itoa(r.Faults),
 			strconv.Itoa(r.DiffRequests),
 			strconv.Itoa(r.DiffsApplied),

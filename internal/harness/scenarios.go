@@ -126,6 +126,117 @@ func ColocatedScenario(nprocs int) core.Scenario {
 	return sc
 }
 
+// faultSeed derives a stable fault-injection seed from a scenario's
+// coordinates (FNV-1a over the name, mixed with the processor count), so
+// every (scenario, nprocs) cell sees its own reproducible fault pattern.
+func faultSeed(name string, nprocs int) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(nprocs)
+	h *= 1099511628211
+	return h
+}
+
+// LossScenarios sweeps seeded message loss.  TreadMarks (UDP) recovers
+// through the tmk at-least-once RPC layer; PVM (TCP) through the
+// transport's emulated ARQ — the paper-era question of which protocol
+// degrades more gracefully.
+func LossScenarios(nprocs int, rates ...float64) []core.Scenario {
+	if len(rates) == 0 {
+		rates = []float64{0.01, 0.05, 0.20}
+	}
+	var out []core.Scenario
+	for _, r := range rates {
+		sc := core.Base(nprocs)
+		sc.Name = fmt.Sprintf("loss=%g", r)
+		sc.Net.Faults.Loss = r
+		sc.Net.Faults.Seed = faultSeed(sc.Name, nprocs)
+		out = append(out, sc)
+	}
+	return out
+}
+
+// DupScenarios sweeps seeded message duplication (duplicate suppression
+// is exercised with nothing actually lost).
+func DupScenarios(nprocs int, rates ...float64) []core.Scenario {
+	if len(rates) == 0 {
+		rates = []float64{0.01, 0.05, 0.20}
+	}
+	var out []core.Scenario
+	for _, r := range rates {
+		sc := core.Base(nprocs)
+		sc.Name = fmt.Sprintf("dup=%g", r)
+		sc.Net.Faults.Dup = r
+		sc.Net.Faults.Seed = faultSeed(sc.Name, nprocs)
+		out = append(out, sc)
+	}
+	return out
+}
+
+// ReorderScenarios holds back a fraction of datagrams plus uniform
+// delivery jitter, stressing sequence-number filtering without loss.
+func ReorderScenarios(nprocs int, rates ...float64) []core.Scenario {
+	if len(rates) == 0 {
+		rates = []float64{0.05, 0.20}
+	}
+	var out []core.Scenario
+	for _, r := range rates {
+		sc := core.Base(nprocs)
+		sc.Name = fmt.Sprintf("reorder=%g", r)
+		sc.Net.Faults.Reorder = r
+		sc.Net.Faults.ReorderDelay = 1 * sim.Millisecond
+		sc.Net.Faults.Jitter = 250 * sim.Microsecond
+		sc.Net.Faults.Seed = faultSeed(sc.Name, nprocs)
+		out = append(out, sc)
+	}
+	return out
+}
+
+// PartitionScenarios severs the last node from the rest of the cluster
+// over an early virtual-time window that heals mid-run: datagrams into
+// the partition drop (and are retransmitted until the heal), stream
+// deliveries stall.  Runs shorter than the window start never notice.
+func PartitionScenarios(nprocs int) []core.Scenario {
+	sc := core.Base(nprocs)
+	sc.Name = "partition"
+	if nprocs > 1 {
+		sc.Net.Faults.Partitions = []vnet.Partition{{
+			Start: 5 * sim.Millisecond,
+			Heal:  25 * sim.Millisecond,
+			Nodes: []int{nprocs - 1},
+		}}
+		sc.Net.Faults.Seed = faultSeed(sc.Name, nprocs)
+	}
+	return []core.Scenario{sc}
+}
+
+// SlowScenarios scales the CPU costs the network model charges on the
+// last node — the paper-era straggler workstation.  Not lossy: no
+// reliability machinery arms, only the load imbalance shifts.
+func SlowScenarios(nprocs int, factors ...float64) []core.Scenario {
+	if len(factors) == 0 {
+		factors = []float64{2, 4}
+	}
+	var out []core.Scenario
+	for _, f := range factors {
+		sc := core.Base(nprocs)
+		sc.Name = fmt.Sprintf("slow=%gx", f)
+		if nprocs > 1 {
+			sl := make([]float64, nprocs)
+			for i := range sl {
+				sl[i] = 1
+			}
+			sl[nprocs-1] = f
+			sc.Net.Faults.Slowdown = sl
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
 // scenarioSets is the single registry of named scenario axes: the CLI
 // lists its keys and ScenarioSet resolves against it, so a new axis is
 // one entry here.
@@ -140,6 +251,11 @@ var scenarioSets = []struct {
 	{"lat", func(n int) []core.Scenario { return LatencyScenarios(n) }},
 	{"handler", func(n int) []core.Scenario { return HandlerScenarios(n) }},
 	{"colocated", func(n int) []core.Scenario { return []core.Scenario{ColocatedScenario(n)} }},
+	{"loss", func(n int) []core.Scenario { return LossScenarios(n) }},
+	{"dup", func(n int) []core.Scenario { return DupScenarios(n) }},
+	{"reorder", func(n int) []core.Scenario { return ReorderScenarios(n) }},
+	{"partition", PartitionScenarios},
+	{"slow", func(n int) []core.Scenario { return SlowScenarios(n) }},
 }
 
 // ScenarioSets lists the registered scenario-axis names.

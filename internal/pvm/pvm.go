@@ -44,7 +44,10 @@ func New(eng *sim.Engine, net *vnet.Network, n int) *System {
 	}
 	s := &System{eng: eng, net: net, n: n}
 	for i := 0; i < n; i++ {
-		s.eps = append(s.eps, net.NewEndpoint(i, false))
+		// Endpoint id == process id: messages carry the sender's process
+		// id, so receivers address peers by id even when extra processes
+		// share a node (SpawnExtraAt).
+		s.eps = append(s.eps, net.NewEndpointID(i, i, false))
 	}
 	return s
 }
@@ -86,14 +89,9 @@ func (s *System) SpawnExtra(name string, body func(*Proc)) int {
 // between the two crosses loopback, costs almost nothing and is not
 // counted as user messages, modeling the paper's master sharing a
 // workstation with slave 0.  Addressing is by process id either way:
-// sends name the process, receives match whatever node it sits on.
-//
-// Co-location weakens sender identity: messages carry the node, so a
-// receiver cannot tell the extra process from the regular process it
-// shares a node with — Recv(src, tag) with src naming either matches
-// both, and Buffer.Src() reports the shared node.  Protocols must
-// disambiguate by tag (master-bound and slave-bound tags disjoint, as in
-// TSP and QSORT) and must not dispatch on Src() where both could send.
+// messages carry the sender's process id, so Recv(src, tag) with src
+// naming the extra process matches only it, and Buffer.Src() reports the
+// true sender even when two processes share a node.
 func (s *System) SpawnExtraAt(name string, node int, body func(*Proc)) int {
 	id := len(s.eps)
 	if node < 0 {
@@ -101,7 +99,7 @@ func (s *System) SpawnExtraAt(name string, node int, body func(*Proc)) int {
 	} else if node >= s.n {
 		panic(fmt.Sprintf("pvm: extra process placed on unknown node %d", node))
 	}
-	ep := s.net.NewEndpoint(node, false)
+	ep := s.net.NewEndpointID(node, id, false)
 	s.eps = append(s.eps, ep)
 	p := &Proc{sys: s, id: id, ep: ep}
 	s.eng.Spawn(name, false, func(c *sim.Ctx) {
@@ -227,23 +225,12 @@ func (p *Proc) Bcast(tag int) {
 	p.Mcast(dsts, tag)
 }
 
-// srcNode maps a source process id to the node id its messages carry.
-// Regular processes sit on their own node (identity); an extra process
-// placed with SpawnExtraAt may share a node, so receives that name it by
-// process id must match on that node instead.
-func (p *Proc) srcNode(src int) int {
-	if src < 0 || src >= len(p.sys.eps) {
-		return src // wildcard (or out of range: let the filter never match)
-	}
-	return p.sys.eps[src].Node()
-}
-
 // Recv blocks until a message with the given source and tag arrives
-// (pvm_recv).  Negative src or tag match anything.  The returned buffer is
-// positioned for unpacking.  The transport envelope is recycled here; the
-// payload bytes live on inside the buffer.
+// (pvm_recv).  Negative src or tag match anything; src is a process id.
+// The returned buffer is positioned for unpacking.  The transport
+// envelope is recycled here; the payload bytes live on inside the buffer.
 func (p *Proc) Recv(src, tag int) *Buffer {
-	m := p.ep.Recv(p.ctx, p.srcNode(src), tag)
+	m := p.ep.Recv(p.ctx, src, tag)
 	b := &Buffer{proc: p, data: m.Payload, src: m.From, tag: m.Tag}
 	p.ep.Free(p.ctx, m)
 	return b
@@ -253,7 +240,7 @@ func (p *Proc) Recv(src, tag int) *Buffer {
 // matching message has arrived yet, allowing the caller to overlap useful
 // work with communication.
 func (p *Proc) NRecv(src, tag int) *Buffer {
-	m := p.ep.TryRecv(p.ctx, p.srcNode(src), tag)
+	m := p.ep.TryRecv(p.ctx, src, tag)
 	if m == nil {
 		return nil
 	}
@@ -264,7 +251,7 @@ func (p *Proc) NRecv(src, tag int) *Buffer {
 
 // Probe reports whether a matching message has arrived (pvm_probe).
 func (p *Proc) Probe(src, tag int) bool {
-	return p.ep.Probe(p.ctx, p.srcNode(src), tag)
+	return p.ep.Probe(p.ctx, src, tag)
 }
 
 func (s *System) checkDst(dst int) {
@@ -307,7 +294,7 @@ type Buffer struct {
 	tag  int
 }
 
-// Src returns the sender of a received buffer.
+// Src returns the sender's process id.
 func (b *Buffer) Src() int { return b.src }
 
 // Tag returns the tag of a received buffer.

@@ -52,6 +52,36 @@
 //   - Per-fault scratch (missing-notice list, cover targets, request
 //     objects, apply cursors) is recycled on the Proc; long-lived records
 //     and diffs are carved from a per-processor memArena.
+//
+// # Fault model
+//
+// TreadMarks runs over UDP, so when the network's fault injection is
+// lossy (vnet.FaultConfig.Lossy) the protocol arms an at-least-once RPC
+// layer on every request/reply pair — lock acquire/grant, barrier
+// arrive/depart, diff request/response:
+//
+//   - Every request carries a per-processor monotonic sequence number
+//     (header-resident, see wire.go); replies echo it.
+//   - The requester retransmits on timeout with exponential backoff:
+//     Config.RetransBase doubling up to Config.RetransCap (defaults
+//     derive from the network round trip).  Stale replies — duplicates
+//     whose Seq does not match the outstanding request — are discarded.
+//   - Servers suppress duplicate requests: the manager re-forwards a
+//     retransmitted acquire to its original target, a grantor or the
+//     barrier manager resends its cached reply when the retransmission
+//     matches the request it last answered, and anything older is
+//     dropped (the requester has provably moved on).
+//
+// The eager-invalidate broadcast (invMsg) has no reply and is not
+// retransmitted: a lost notice is repaired at the next synchronization
+// operation, whose grant or departure piggybacks every record the
+// receiver's timestamp does not cover; a notice that arrives ahead of a
+// lost predecessor is buffered until the gap fills (see admitRecord).
+// Retransmitted traffic is charged to vnet Stats.Retrans, never the
+// paper's message/byte columns, and the timeout count is surfaced as the
+// Proc.Timeouts counter.  With a fault-free network none of this runs:
+// sequence numbers stay zero and every receive is the plain blocking
+// Recv, so results are byte-identical to the pre-fault protocol.
 package tmk
 
 import (
@@ -85,6 +115,14 @@ type Config struct {
 	// rather than at the next acquire.  This is the one-knob ablation for
 	// the cost of eagerness: same applications, strictly more messages.
 	EagerInvalidate bool
+
+	// RetransBase and RetransCap tune the at-least-once RPC layer armed
+	// when the network's fault injection is lossy: the first retransmit
+	// fires RetransBase after a request, doubling per retry up to
+	// RetransCap.  Zero values derive defaults from the network cost
+	// model (4x a minimal round trip, capped at 16x that).
+	RetransBase sim.Time
+	RetransCap  sim.Time
 }
 
 // DefaultConfig models a mid-1990s HP PA-RISC workstation (4 KB pages).
@@ -111,6 +149,11 @@ type System struct {
 	procs   []*Proc
 	started bool
 	initial map[int][]byte // page -> preloaded contents
+
+	// At-least-once RPC layer, armed only when the network can lose,
+	// duplicate or reorder messages (see the package fault-model doc).
+	reliable    bool
+	rBase, rCap sim.Time // retransmit timeout: base, doubling cap
 }
 
 // NewSystem creates a TreadMarks system with n processors on net.
@@ -122,6 +165,22 @@ func NewSystem(eng *sim.Engine, net *vnet.Network, n int, cfg Config) *System {
 		panic("tmk: page size must be a positive multiple of 8")
 	}
 	s := &System{eng: eng, net: net, cfg: cfg, n: n, initial: map[int][]byte{}}
+	nc := net.Config()
+	s.reliable = nc.Faults.Lossy()
+	if s.reliable {
+		s.rBase = cfg.RetransBase
+		if s.rBase == 0 {
+			rtt := 2 * (nc.SendOverhead + nc.Latency + nc.RecvOverhead)
+			s.rBase = 4 * rtt
+			if s.rBase < 4*sim.Millisecond {
+				s.rBase = 4 * sim.Millisecond
+			}
+		}
+		s.rCap = cfg.RetransCap
+		if s.rCap == 0 {
+			s.rCap = 16 * s.rBase
+		}
+	}
 	for i := 0; i < n; i++ {
 		p := &Proc{
 			sys:       s,
@@ -428,6 +487,21 @@ type plock struct {
 	nextGrant int      // queued requester (-1: none)
 	nextVC    VC       // queued requester's vc
 	mgrLast   int      // manager only: last processor to request the lock
+
+	// Reliable-mode duplicate suppression (nil maps otherwise).
+	nextSeq int         // queued requester's request Seq
+	served  map[int]int // grantor: requester -> Seq of the last grant sent to it
+	mgrSeen map[int]int // manager: requester -> latest request Seq handled
+	mgrFwd  map[int]int // manager: requester -> target its latest request went to
+
+	// Cache of the most recent grant this processor issued, for
+	// resending when the retransmitted request matches it.  A single
+	// slot suffices: ownership cannot advance past a requester until
+	// that requester has received its grant, so a live retransmission
+	// can only ever name the cached grantee.
+	lastGrantee   int
+	lastGrant     *grantMsg
+	lastGrantSize int
 }
 
 type barrierState struct {
@@ -439,6 +513,13 @@ type barrierState struct {
 	// Valid only inside handleBarrArrive's final-arrival step.
 	union []*IntervalRec
 	heads []int
+
+	// Reliable-mode duplicate suppression, indexed by client: Seq of the
+	// last arrival answered and the cached departure sent for it (resent
+	// when the client retransmits that arrival).
+	lastSeq  []int
+	lastDep  []*barrMsg
+	lastSize []int
 }
 
 // Proc is one TreadMarks processor.
@@ -458,6 +539,15 @@ type Proc struct {
 	barrier   *barrierState
 	pendInv   []*IntervalRec // eager notices deferred while a page was busy
 	faultPg   int            // page mid-fault (service may not invalidate it); -1 otherwise
+
+	// Reliable-mode state: the RPC sequence counter, records that arrived
+	// ahead of a lost predecessor (eager mode; see admitRecord), and the
+	// diff server's per-requester duplicate-suppression cache.
+	rpcSeq       int
+	futureRecs   []*IntervalRec
+	diffLastSeq  map[int]int
+	diffLastResp map[int]*diffRespMsg
+	diffLastSize map[int]int
 
 	// Access fast path (views.go): cached [lo,hi) address windows of the
 	// last page hit by a scalar read (valid, data present) and write
@@ -495,6 +585,7 @@ type Proc struct {
 	LockMsgs     int
 	LockWait     sim.Time // time blocked in remote lock acquires
 	BarrierWait  sim.Time // time blocked in barriers
+	Timeouts     int      // RPC timeouts fired (retransmissions triggered)
 }
 
 // ID returns the processor id.
@@ -536,9 +627,53 @@ func (p *Proc) lock(id int) *plock {
 			lk.owned = true // locks start out owned by their manager
 			lk.mgrLast = mgr
 		}
+		if p.sys.reliable {
+			lk.served = map[int]int{}
+			lk.mgrSeen = map[int]int{}
+			lk.mgrFwd = map[int]int{}
+		}
 		p.locks[id] = lk
 	}
 	return lk
+}
+
+// nextRPC returns a fresh nonzero RPC sequence number (reliable mode;
+// zero marks an unsequenced message).
+func (p *Proc) nextRPC() int {
+	p.rpcSeq++
+	return p.rpcSeq
+}
+
+// rpcRecv receives the reply of an at-least-once RPC.  Without the
+// reliability layer it is the plain blocking Recv.  With it, the receive
+// carries a deadline: on timeout the request is retransmitted (resend)
+// and the deadline backs off exponentially up to the configured cap;
+// replies whose sequence number (extracted by seqOf) does not match want
+// are stale duplicates and are freed and ignored.
+func (p *Proc) rpcRecv(ctx *sim.Ctx, from, tag, want int, resend func(), seqOf func(any) int) *vnet.Message {
+	if !p.sys.reliable {
+		return p.ep.Recv(ctx, from, tag)
+	}
+	to := p.sys.rBase
+	for {
+		m := p.ep.RecvDeadline(ctx, from, tag, ctx.Now()+to)
+		if m == nil {
+			p.Timeouts++
+			resend()
+			if to < p.sys.rCap {
+				to *= 2
+				if to > p.sys.rCap {
+					to = p.sys.rCap
+				}
+			}
+			continue
+		}
+		if seqOf(m.Obj) != want {
+			p.ep.Free(ctx, m) // stale duplicate reply
+			continue
+		}
+		return m
+	}
 }
 
 func (p *Proc) manager(lockID int) int { return lockID % p.sys.n }
@@ -627,13 +762,8 @@ func (p *Proc) handleInval(m *invMsg) {
 // page.
 func (p *Proc) recsTouchBusy(recs []*IntervalRec) bool {
 	for _, r := range recs {
-		if r.Proc == p.id {
-			continue
-		}
-		for _, pid := range r.Pages {
-			if pid == p.faultPg || p.pages[pid].twin != nil {
-				return true
-			}
+		if p.recTouchesBusy(r) {
+			return true
 		}
 	}
 	return false
@@ -687,30 +817,118 @@ func (p *Proc) applyRecords(recs []*IntervalRec) {
 	// each processor's records in index order.
 	sortRecords(recs)
 	for _, r := range recs {
-		have := len(p.recs[r.Proc])
-		if r.Idx < have {
-			continue // duplicate
-		}
-		if r.Idx > have {
+		p.admitRecord(r)
+	}
+	if len(p.futureRecs) > 0 {
+		p.drainFuture()
+	}
+}
+
+// admitRecord files one interval record.  Sync-time batches (grants,
+// departures) are gap-free per writer, so a record ahead of its
+// predecessors can only be an eager notice whose predecessor was lost;
+// with the reliability layer armed it is buffered in futureRecs until
+// the gap fills (the predecessor piggybacks on the next grant or
+// departure), and without it a gap is a protocol-invariant violation.
+// The same buffering enforces causal admission across writers: an eager
+// notice can outrun the loss of a different writer's notice that its
+// timestamp covers, and admitting it early would advance this
+// processor's clock past intervals it never saw — the next interval
+// this processor closes would stamp a timestamp that is not
+// transitively closed, breaking minimalCover's dominance argument at
+// whatever processor later receives it.
+func (p *Proc) admitRecord(r *IntervalRec) {
+	have := len(p.recs[r.Proc])
+	if r.Idx < have {
+		return // duplicate
+	}
+	if r.Idx > have || (p.sys.reliable && !p.recCausallyReady(r)) {
+		if !p.sys.reliable {
 			panic(fmt.Sprintf("tmk: proc %d got interval %d/%d with only %d known",
 				p.id, r.Proc, r.Idx, have))
 		}
-		p.recs[r.Proc] = append(p.recs[r.Proc], r)
-		if int32(r.Idx+1) > p.vc[r.Proc] {
-			p.vc[r.Proc] = int32(r.Idx + 1)
-		}
-		if r.Proc == p.id {
-			continue // own writes: page copies are already current
-		}
-		for _, pid := range r.Pages {
-			pg := p.pages[pid]
-			if pg.twin != nil {
-				panic("tmk: write notice applied to a twinned page (interval not closed)")
+		for _, f := range p.futureRecs {
+			if f.Proc == r.Proc && f.Idx == r.Idx {
+				return // already buffered
 			}
-			pg.valid = false
-			pg.wn = append(pg.wn, diffWant{Proc: r.Proc, Idx: r.Idx})
+		}
+		p.futureRecs = append(p.futureRecs, r)
+		return
+	}
+	p.recs[r.Proc] = append(p.recs[r.Proc], r)
+	if int32(r.Idx+1) > p.vc[r.Proc] {
+		p.vc[r.Proc] = int32(r.Idx + 1)
+	}
+	if r.Proc == p.id {
+		return // own writes: page copies are already current
+	}
+	for _, pid := range r.Pages {
+		pg := p.pages[pid]
+		if pg.twin != nil {
+			panic("tmk: write notice applied to a twinned page (interval not closed)")
+		}
+		pg.valid = false
+		pg.wn = append(pg.wn, diffWant{Proc: r.Proc, Idx: r.Idx})
+	}
+}
+
+// drainFuture admits buffered future records whose gaps have filled,
+// iterating to a fixpoint (one admission can unblock the next).  A
+// record naming a busy page — twinned, or mid-fault after the fault
+// chose its diff set — stays buffered: invalidating it here would tear
+// the local interval, exactly the hazard handleInval defers for.  Such
+// a record retries at every applyRecords; if it never drains here, the
+// same record arrives through a later grant or departure (the holder's
+// timestamp does not cover it) and the buffered copy dies as a
+// duplicate.
+func (p *Proc) drainFuture() {
+	for {
+		progress := false
+		kept := p.futureRecs[:0]
+		for _, r := range p.futureRecs {
+			have := len(p.recs[r.Proc])
+			switch {
+			case r.Idx < have:
+				progress = true // arrived through another channel; drop
+			case r.Idx > have || p.recTouchesBusy(r) || !p.recCausallyReady(r):
+				kept = append(kept, r)
+			default:
+				p.admitRecord(r)
+				progress = true
+			}
+		}
+		p.futureRecs = kept
+		if !progress || len(p.futureRecs) == 0 {
+			return
 		}
 	}
+}
+
+// recCausallyReady reports whether every interval the record's timestamp
+// covers — beyond the record's own writer — has been admitted locally,
+// the causal-delivery condition admitRecord buffers on under fault
+// injection.
+func (p *Proc) recCausallyReady(r *IntervalRec) bool {
+	for k, v := range r.VC {
+		if k != r.Proc && p.vc[k] < v {
+			return false
+		}
+	}
+	return true
+}
+
+// recTouchesBusy reports whether the record names a twinned or mid-fault
+// page.
+func (p *Proc) recTouchesBusy(r *IntervalRec) bool {
+	if r.Proc == p.id {
+		return false
+	}
+	for _, pid := range r.Pages {
+		if pid == p.faultPg || p.pages[pid].twin != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // recordsNotCoveredBy collects every known interval record the given
@@ -771,8 +989,14 @@ func (p *Proc) LockAcquire(id int) {
 	// The live vector backs the request timestamp without a clone: this
 	// processor blocks until the grant arrives, and every reader (manager,
 	// owner) runs while it is blocked, so the vector cannot move under
-	// them.
+	// them.  Under faults a stale duplicate of the request can outlive
+	// the block, so the reliable path clones.
 	req := &acqMsg{Lock: id, Requester: p.id, VC: p.vc}
+	if p.sys.reliable {
+		req.Seq = p.nextRPC()
+		req.VC = p.vc.Clone()
+	}
+	var resend func()
 	mgr := p.manager(id)
 	if mgr == p.id {
 		// We are the manager: perform the manager step locally and
@@ -785,12 +1009,19 @@ func (p *Proc) LockAcquire(id int) {
 		}
 		p.ep.SendObj(p.app, p.sys.procs[prev].srv, tagAcqFwd, req, req.wireSize())
 		p.LockMsgs++
+		resend = func() {
+			p.ep.SendObjRetrans(p.app, p.sys.procs[prev].srv, tagAcqFwd, req, req.wireSize())
+		}
 	} else {
 		p.ep.SendObj(p.app, p.sys.procs[mgr].srv, tagAcqReq, req, req.wireSize())
 		p.LockMsgs++
+		resend = func() {
+			p.ep.SendObjRetrans(p.app, p.sys.procs[mgr].srv, tagAcqReq, req, req.wireSize())
+		}
 	}
 	t0 := p.app.Now()
-	m := p.ep.Recv(p.app, -1, tagGrant)
+	m := p.rpcRecv(p.app, -1, tagGrant, req.Seq, resend,
+		func(o any) int { return o.(*grantMsg).Seq })
 	p.LockWait += p.app.Now() - t0
 	g := m.Obj.(*grantMsg)
 	p.ep.Free(p.app, m) // grant extracted; recycle the envelope
@@ -816,10 +1047,11 @@ func (p *Proc) LockRelease(id int) {
 	lk.releaseVC = p.vc.Clone()
 	lk.releaseAt = p.app.Now()
 	if lk.nextGrant >= 0 {
-		p.sendGrant(p.app, p.ep, id, lk.nextGrant, lk.nextVC, lk.releaseVC)
+		p.sendGrant(p.app, p.ep, id, lk.nextGrant, lk.nextSeq, lk.nextVC, lk.releaseVC)
 		lk.owned = false
 		lk.nextGrant = -1
 		lk.nextVC = nil
+		lk.nextSeq = 0
 	}
 	// Scheduling point so queued protocol work at earlier virtual times
 	// (e.g. a forward racing this release) settles before we run on.
@@ -827,11 +1059,19 @@ func (p *Proc) LockRelease(id int) {
 }
 
 // sendGrant ships lock ownership and the write notices the requester
-// lacks, bounded by what this processor knew at its release.
-func (p *Proc) sendGrant(ctx *sim.Ctx, from *vnet.Endpoint, lockID, requester int, reqVC, limitVC VC) {
-	g := &grantMsg{Lock: lockID, Records: p.recordsNotCoveredBy(reqVC, limitVC)}
-	from.SendObj(ctx, p.sys.procs[requester].ep, tagGrant, g, g.wireSize())
+// lacks, bounded by what this processor knew at its release.  seq echoes
+// the request's RPC id; in reliable mode the grant is cached for
+// resending until ownership provably reached the requester.
+func (p *Proc) sendGrant(ctx *sim.Ctx, from *vnet.Endpoint, lockID, requester, seq int, reqVC, limitVC VC) {
+	g := &grantMsg{Lock: lockID, Seq: seq, Records: p.recordsNotCoveredBy(reqVC, limitVC)}
+	size := g.wireSize()
+	from.SendObj(ctx, p.sys.procs[requester].ep, tagGrant, g, size)
 	p.LockMsgs++
+	if p.sys.reliable && seq > 0 {
+		lk := p.lock(lockID)
+		lk.served[requester] = seq
+		lk.lastGrantee, lk.lastGrant, lk.lastGrantSize = requester, g, size
+	}
 }
 
 // ---------------------------------------------------------------------
@@ -846,14 +1086,22 @@ func (p *Proc) Barrier(id int) {
 		From:    p.id,
 		// The live vector is safe to share: this processor blocks until
 		// departure, and the manager reads arrival timestamps before any
-		// departure is delivered.
+		// departure is delivered.  Under faults a duplicate can outlive
+		// the block, so the reliable path clones.
 		VC:      p.vc,
 		Records: p.recordsNotCoveredBy(p.lastMgrVC, nil),
 	}
+	if p.sys.reliable {
+		arr.Seq = p.nextRPC()
+		arr.VC = p.vc.Clone()
+	}
 	mgr := p.sys.procs[0]
-	p.ep.SendObj(p.app, mgr.srv, tagBarrArrive, arr, arr.wireSize())
+	size := arr.wireSize()
+	p.ep.SendObj(p.app, mgr.srv, tagBarrArrive, arr, size)
 	t0 := p.app.Now()
-	m := p.ep.Recv(p.app, 0, tagBarrDepart)
+	m := p.rpcRecv(p.app, 0, tagBarrDepart, arr.Seq,
+		func() { p.ep.SendObjRetrans(p.app, mgr.srv, tagBarrArrive, arr, size) },
+		func(o any) int { return o.(*barrMsg).Seq })
 	p.BarrierWait += p.app.Now() - t0
 	dep := m.Obj.(*barrMsg)
 	p.ep.Free(p.app, m) // departure extracted; recycle the envelope
@@ -903,6 +1151,28 @@ func mergeArrivalRecords(arrived []*barrMsg, union []*IntervalRec, heads []int) 
 // handleBarrArrive runs in processor 0's service daemon.
 func (p *Proc) handleBarrArrive(ctx *sim.Ctx, m *barrMsg) {
 	bs := p.barrier
+	if p.sys.reliable && m.Seq > 0 {
+		if bs.lastSeq == nil {
+			bs.lastSeq = make([]int, p.sys.n)
+			bs.lastDep = make([]*barrMsg, p.sys.n)
+			bs.lastSize = make([]int, p.sys.n)
+		}
+		if m.Seq <= bs.lastSeq[m.From] {
+			// Duplicate of an answered arrival: the departure may have
+			// been lost, so resend the cached copy for the latest one;
+			// older floating duplicates are dropped.
+			if m.Seq == bs.lastSeq[m.From] && bs.lastDep[m.From] != nil {
+				p.srv.SendObjRetrans(ctx, p.sys.procs[m.From].ep, tagBarrDepart,
+					bs.lastDep[m.From], bs.lastSize[m.From])
+			}
+			return
+		}
+		for _, a := range bs.arrived {
+			if a.From == m.From {
+				return // retransmission of a current, not-yet-answered arrival
+			}
+		}
+	}
 	if len(bs.arrived) == 0 {
 		bs.id = m.Barrier
 	} else if bs.id != m.Barrier {
@@ -945,8 +1215,14 @@ func (p *Proc) handleBarrArrive(ctx *sim.Ctx, m *barrMsg) {
 				}
 			}
 		}
-		dep := &barrMsg{Barrier: bs.id, From: 0, VC: merged, Records: out}
-		p.srv.SendObj(ctx, p.sys.procs[a.From].ep, tagBarrDepart, dep, dep.wireSize())
+		dep := &barrMsg{Barrier: bs.id, From: 0, Seq: a.Seq, VC: merged, Records: out}
+		size := dep.wireSize()
+		p.srv.SendObj(ctx, p.sys.procs[a.From].ep, tagBarrDepart, dep, size)
+		if p.sys.reliable && a.Seq > 0 {
+			bs.lastSeq[a.From] = a.Seq
+			bs.lastDep[a.From] = dep
+			bs.lastSize[a.From] = size
+		}
 	}
 	bs.arrived = bs.arrived[:0]
 	bs.id = -1
@@ -966,8 +1242,28 @@ func (p *Proc) serve(ctx *sim.Ctx) {
 		case tagAcqReq:
 			req := obj.(*acqMsg)
 			lk := p.lock(req.Lock)
+			if p.sys.reliable && req.Seq > 0 {
+				if last, ok := lk.mgrSeen[req.Requester]; ok && req.Seq <= last {
+					// Duplicate.  A retransmission of the requester's current
+					// request re-forwards to the original target (the fwd or
+					// grant may have been lost); anything older is a floating
+					// copy of a completed acquire and is dropped.
+					if req.Seq == last {
+						if tgt := lk.mgrFwd[req.Requester]; tgt == p.id {
+							p.grantOrQueue(ctx, req)
+						} else {
+							p.srv.SendObjRetrans(ctx, p.sys.procs[tgt].srv, tagAcqFwd, req, req.wireSize())
+						}
+					}
+					continue
+				}
+				lk.mgrSeen[req.Requester] = req.Seq
+			}
 			prev := lk.mgrLast
 			lk.mgrLast = req.Requester
+			if p.sys.reliable && req.Seq > 0 {
+				lk.mgrFwd[req.Requester] = prev
+			}
 			if prev == p.id {
 				p.grantOrQueue(ctx, req)
 			} else {
@@ -995,6 +1291,23 @@ func (p *Proc) serve(ctx *sim.Ctx) {
 // with it, or queues the request for the next release.
 func (p *Proc) grantOrQueue(ctx *sim.Ctx, req *acqMsg) {
 	lk := p.lock(req.Lock)
+	if p.sys.reliable && req.Seq > 0 {
+		if s, ok := lk.served[req.Requester]; ok && req.Seq <= s {
+			// Already granted.  If it is the most recent grant this
+			// processor issued, the grant itself may have been lost:
+			// resend the cached copy.  Otherwise the requester has
+			// provably received it (ownership advanced past it) and the
+			// duplicate is dropped.
+			if req.Seq == s && lk.lastGrantee == req.Requester && lk.lastGrant != nil {
+				p.srv.SendObjRetrans(ctx, p.sys.procs[req.Requester].ep, tagGrant,
+					lk.lastGrant, lk.lastGrantSize)
+			}
+			return
+		}
+		if lk.nextGrant == req.Requester && lk.nextSeq == req.Seq {
+			return // duplicate of the already-queued request
+		}
+	}
 	if !lk.owned && !lk.awaiting {
 		panic(fmt.Sprintf("tmk: proc %d got forward for lock %d it neither owns nor awaits",
 			p.id, req.Lock))
@@ -1005,6 +1318,7 @@ func (p *Proc) grantOrQueue(ctx *sim.Ctx, req *acqMsg) {
 		}
 		lk.nextGrant = req.Requester
 		lk.nextVC = req.VC
+		lk.nextSeq = req.Seq
 		return
 	}
 	// Lock is free.  Its release happened at lk.releaseAt; a grant cannot
@@ -1012,7 +1326,7 @@ func (p *Proc) grantOrQueue(ctx *sim.Ctx, req *acqMsg) {
 	if lk.releaseAt > ctx.Now() {
 		ctx.Compute(lk.releaseAt - ctx.Now())
 	}
-	p.sendGrant(ctx, p.srv, req.Lock, req.Requester, req.VC, lk.releaseVC)
+	p.sendGrant(ctx, p.srv, req.Lock, req.Requester, req.Seq, req.VC, lk.releaseVC)
 	lk.owned = false
 }
 
@@ -1021,6 +1335,18 @@ func (p *Proc) grantOrQueue(ctx *sim.Ctx, req *acqMsg) {
 // that modified a page in an interval holds the diffs of all intervals
 // that precede it).
 func (p *Proc) handleDiffReq(ctx *sim.Ctx, req *diffReqMsg) {
+	if p.sys.reliable && req.Seq > 0 {
+		// A requester's RPCs to one server are sequential, so a request
+		// at or below the last answered Seq is a duplicate: resend the
+		// cached response for the latest one, drop anything older.
+		if last := p.diffLastSeq[req.Requester]; last > 0 && req.Seq <= last {
+			if req.Seq == last {
+				p.srv.SendObjRetrans(ctx, p.sys.procs[req.Requester].ep, tagDiffResp,
+					p.diffLastResp[req.Requester], p.diffLastSize[req.Requester])
+			}
+			return
+		}
+	}
 	pg := p.pages[req.Page]
 	entries := make([]diffEntry, 0, len(req.Wants))
 	for _, w := range req.Wants {
@@ -1031,8 +1357,19 @@ func (p *Proc) handleDiffReq(ctx *sim.Ctx, req *diffReqMsg) {
 		}
 		entries = append(entries, diffEntry{Proc: w.Proc, Idx: w.Idx, Diff: d})
 	}
-	resp := &diffRespMsg{Page: req.Page, Entries: entries}
-	p.srv.SendObj(ctx, p.sys.procs[req.Requester].ep, tagDiffResp, resp, resp.wireSize())
+	resp := &diffRespMsg{Page: req.Page, Seq: req.Seq, Entries: entries}
+	size := resp.wireSize()
+	p.srv.SendObj(ctx, p.sys.procs[req.Requester].ep, tagDiffResp, resp, size)
+	if p.sys.reliable && req.Seq > 0 {
+		if p.diffLastSeq == nil {
+			p.diffLastSeq = map[int]int{}
+			p.diffLastResp = map[int]*diffRespMsg{}
+			p.diffLastSize = map[int]int{}
+		}
+		p.diffLastSeq[req.Requester] = req.Seq
+		p.diffLastResp[req.Requester] = resp
+		p.diffLastSize[req.Requester] = size
+	}
 }
 
 // ---------------------------------------------------------------------
@@ -1066,18 +1403,37 @@ func (p *Proc) fault(pid int) {
 		// per-fault scratch: every server reads its request before
 		// answering, and all answers arrive before this fault ends, so
 		// the scratch is provably quiescent when the next fault reuses it.
-		if cap(p.reqMsgs) < len(targets) {
-			p.reqMsgs = make([]diffReqMsg, len(targets))
+		// Under faults that proof dies — a duplicate or reordered request
+		// can reach the server after this fault returned — so the
+		// reliable path allocates fresh objects and clones the want lists
+		// out of the cover scratch.
+		var reqs []diffReqMsg
+		if p.sys.reliable {
+			reqs = make([]diffReqMsg, len(targets))
+		} else {
+			if cap(p.reqMsgs) < len(targets) {
+				p.reqMsgs = make([]diffReqMsg, len(targets))
+			}
+			reqs = p.reqMsgs[:len(targets)]
 		}
-		reqs := p.reqMsgs[:len(targets)]
 		for i := range targets {
 			t := &targets[i]
-			reqs[i] = diffReqMsg{Page: pid, Requester: p.id, Wants: t.wants}
+			wants := t.wants
+			seq := 0
+			if p.sys.reliable {
+				wants = append([]diffWant(nil), t.wants...)
+				seq = p.nextRPC()
+			}
+			reqs[i] = diffReqMsg{Page: pid, Requester: p.id, Seq: seq, Wants: wants}
 			p.ep.SendObj(p.app, p.sys.procs[t.proc].srv, tagDiffReq, &reqs[i], reqs[i].wireSize())
 			p.DiffRequests++
 		}
 		for i := range targets {
-			m := p.ep.Recv(p.app, targets[i].proc, tagDiffResp)
+			r := &reqs[i]
+			tgt := targets[i].proc
+			m := p.rpcRecv(p.app, tgt, tagDiffResp, r.Seq,
+				func() { p.ep.SendObjRetrans(p.app, p.sys.procs[tgt].srv, tagDiffReq, r, r.wireSize()) },
+				func(o any) int { return o.(*diffRespMsg).Seq })
 			resp := m.Obj.(*diffRespMsg)
 			p.ep.Free(p.app, m) // response extracted; recycle the envelope
 			if resp.Page != pid {

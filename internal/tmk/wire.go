@@ -18,6 +18,13 @@ const (
 	tagInval                   // eager mode: writer app -> all other services
 )
 
+// Reliability note: the Seq fields on request/reply messages (at-least-
+// once RPC sequence numbers, armed only when the network is lossy) ride
+// in the per-fragment protocol header already modeled by
+// vnet.Config.HeaderBytes — like the real system's UDP request ids — so
+// they intentionally appear in neither the encoders nor the wireSize
+// functions below, and zero-fault runs stay byte-identical.
+
 // wbuf is a little-endian wire encoder.  Encoders that know their final
 // size presize b's capacity so a message costs one allocation.
 type wbuf struct{ b []byte }
@@ -212,6 +219,7 @@ func decodeRecords(r *rbuf) []*IntervalRec {
 type acqMsg struct {
 	Lock      int
 	Requester int
+	Seq       int // RPC id (header-resident, see the reliability note)
 	VC        VC
 }
 
@@ -234,6 +242,7 @@ func decodeAcq(b []byte) *acqMsg {
 // requester has not yet seen.
 type grantMsg struct {
 	Lock    int
+	Seq     int // echoes the acquire's Seq (header-resident)
 	Records []*IntervalRec
 }
 
@@ -257,6 +266,7 @@ func decodeGrant(b []byte) *grantMsg {
 type barrMsg struct {
 	Barrier int
 	From    int
+	Seq     int // arrival RPC id, echoed by the departure (header-resident)
 	VC      VC
 	Records []*IntervalRec
 }
@@ -312,6 +322,7 @@ type diffWant struct {
 type diffReqMsg struct {
 	Page      int
 	Requester int
+	Seq       int // RPC id (header-resident, see the reliability note)
 	Wants     []diffWant
 }
 
@@ -349,6 +360,7 @@ type diffEntry struct {
 // diffRespMsg returns the requested diffs for one page.
 type diffRespMsg struct {
 	Page    int
+	Seq     int // echoes the request's Seq (header-resident)
 	Entries []diffEntry
 }
 

@@ -47,6 +47,19 @@
 // and frees gate into the serial commit order via Ctx.Gate, and inbox
 // delivery runs inside Ctx.Sync so a blocked receiver's wake condition
 // never observes a half-filed inbox.
+//
+// # Fault injection
+//
+// Config.Faults arms a deterministic fault layer — seeded per-message
+// loss, duplication, reordering, latency jitter, timed partitions and
+// per-node slowdown; see FaultConfig in fault.go for the determinism
+// and accounting contracts.  Datagram endpoints expose raw faults to
+// their users, who recover with their own sequence numbers and
+// timeout/retransmit (built from RecvDeadline and SendObjRetrans);
+// stream endpoints emulate TCP's ARQ below the user, so stream sends
+// are delayed by recovery but never lost, duplicated or reordered.
+// With the zero FaultConfig the fault path is skipped entirely and all
+// modeled results are byte-identical to a fault-free build.
 package vnet
 
 import (
@@ -70,6 +83,10 @@ type Config struct {
 	// traffic.
 	LocalOverhead sim.Time
 	LocalDelay    sim.Time
+
+	// Faults configures deterministic fault injection (see fault.go).
+	// The zero value disables it.
+	Faults FaultConfig
 }
 
 // FDDI returns the default cost model: 100 Mbit/s FDDI with early-1990s
@@ -118,7 +135,7 @@ func (c Config) transmit(n int) sim.Time {
 // sender declared.  Receivers of an Obj share it with the sender and must
 // treat it as immutable.
 type Message struct {
-	From    int
+	From    int // sender's logical endpoint id (its node unless NewEndpointID)
 	To      int
 	Tag     int
 	Payload []byte
@@ -129,16 +146,25 @@ type Message struct {
 	local   bool // loopback delivery: cheap receive, no wire accounting
 }
 
-// Stats counts traffic through one accounting domain.
+// Stats counts traffic through one accounting domain.  Messages/Bytes
+// are the paper's columns: delivered useful traffic (datagram first
+// transmissions, stream user-level sends).  Fault injection accounts
+// separately — Dropped counts wire transmissions the fault layer
+// killed, Retrans counts duplicated and retransmitted ones — so the
+// delivered columns never silently absorb recovery traffic.
 type Stats struct {
 	Messages int64
 	Bytes    int64
+	Dropped  int64 // transmissions killed by fault injection
+	Retrans  int64 // duplicated or retransmitted transmissions
 }
 
 // Add accumulates other into s.
 func (s *Stats) Add(other Stats) {
 	s.Messages += other.Messages
 	s.Bytes += other.Bytes
+	s.Dropped += other.Dropped
+	s.Retrans += other.Retrans
 }
 
 // Kilobytes reports Bytes in units of 1000 bytes (the paper's "Kilobytes").
@@ -149,6 +175,12 @@ type Network struct {
 	cfg   Config
 	seq   uint64
 	stats Stats // wire-level totals across all endpoints
+
+	// Fault layer state, derived once in New: faultsOn short-circuits the
+	// fault path in xmit, rto is the resolved base timeout of the stream
+	// ARQ (Config.Faults.RTO, or a cost-model default).
+	faultsOn bool
+	rto      sim.Time
 
 	// pool recycles Message structs between xmit and Free.  It is only
 	// touched inside gated sections (xmit gates; Free gates), so one
@@ -170,7 +202,21 @@ func (n *Network) alloc() *Message {
 
 // New creates a network with the given cost model.
 func New(cfg Config) *Network {
-	return &Network{cfg: cfg}
+	n := &Network{cfg: cfg}
+	n.faultsOn = cfg.Faults.Enabled()
+	if n.faultsOn {
+		n.rto = cfg.Faults.RTO
+		if n.rto == 0 {
+			// Default stream-ARQ base timeout: 4x a minimal round trip,
+			// floored at 2 ms (a kernel-granularity TCP timer of the era).
+			rtt := 2 * (cfg.SendOverhead + cfg.Latency + cfg.RecvOverhead)
+			n.rto = 4 * rtt
+			if n.rto < 2*sim.Millisecond {
+				n.rto = 2 * sim.Millisecond
+			}
+		}
+	}
+	return n
 }
 
 // Config returns the network's cost model.
@@ -229,8 +275,16 @@ func (b *bucket) put(m *Message) {
 type Endpoint struct {
 	net      *Network
 	node     int
+	id       int  // logical id carried in Message.From (== node unless NewEndpointID)
 	datagram bool // true: UDP accounting (fragments, headers)
 	stats    Stats
+
+	// arqLast tracks, per destination endpoint, the arrival time of this
+	// endpoint's most recent stream send there: the emulated TCP ARQ
+	// delivers in order, so a later send can never arrive before an
+	// earlier one even if its own loss draws resolve faster.  Allocated
+	// lazily; only touched under Gate (stream sends gate in xmit).
+	arqLast map[*Endpoint]sim.Time
 
 	// Inbox index: one bucket per (from, tag) pair ever seen.  index is
 	// the exact-match lookup; order is the deterministic scan list for
@@ -249,22 +303,39 @@ type Endpoint struct {
 	wake        sim.Source
 	wFrom, wTag int
 	wArmed      bool
+	wDeadline   sim.Time // RecvDeadline's timeout instant
+	wHasDL      bool     // a deadline is armed alongside the filter
 	wCond       sim.Cond
 	wWhat       func() string
 }
 
 // NewEndpoint attaches node to the network.  datagram selects UDP
 // accounting (fragmentation, per-fragment headers); otherwise the endpoint
-// behaves like a direct TCP connection (one message per send).
+// behaves like a direct TCP connection (one message per send).  The
+// endpoint's logical id equals its node.
 func (n *Network) NewEndpoint(node int, datagram bool) *Endpoint {
-	e := &Endpoint{net: n, node: node, datagram: datagram, index: map[[2]int]*bucket{}}
+	return n.NewEndpointID(node, node, datagram)
+}
+
+// NewEndpointID attaches an endpoint with a logical id distinct from its
+// node: Message.From carries id, while node still governs loopback
+// detection, cost charging, slowdown and partitions.  Several endpoints
+// may share a node (co-located processes) as long as their ids differ.
+func (n *Network) NewEndpointID(node, id int, datagram bool) *Endpoint {
+	e := &Endpoint{net: n, node: node, id: id, datagram: datagram, index: map[[2]int]*bucket{}}
 	e.wCond = func() (sim.Time, bool) {
 		if !e.wArmed {
 			return 0, false
 		}
 		_, m := e.peek(e.wFrom, e.wTag)
 		if m == nil {
+			if e.wHasDL {
+				return e.wDeadline, true
+			}
 			return 0, false
+		}
+		if e.wHasDL && e.wDeadline < m.Arrival {
+			return e.wDeadline, true
 		}
 		return m.Arrival, true
 	}
@@ -277,6 +348,9 @@ func (n *Network) NewEndpoint(node int, datagram bool) *Endpoint {
 // Node returns the endpoint's node id.
 func (e *Endpoint) Node() int { return e.node }
 
+// ID returns the endpoint's logical id (carried in Message.From).
+func (e *Endpoint) ID() int { return e.id }
+
 // Stats returns the endpoint's accounting totals (its sends only).
 func (e *Endpoint) Stats() Stats { return e.stats }
 
@@ -284,7 +358,7 @@ func (e *Endpoint) Stats() Stats { return e.stats }
 // clock and scheduling arrival.  The payload is not copied; callers must
 // not mutate it after sending.  Returns the number of wire messages.
 func (e *Endpoint) Send(ctx *sim.Ctx, dst *Endpoint, tag int, payload []byte) int {
-	return e.xmit(ctx, dst, tag, payload, nil, len(payload))
+	return e.xmit(ctx, dst, tag, payload, nil, len(payload), false)
 }
 
 // SendObj transmits a structured message of the given modeled wire size
@@ -294,10 +368,18 @@ func (e *Endpoint) Send(ctx *sim.Ctx, dst *Endpoint, tag int, payload []byte) in
 // encoding would have, and both sides must treat obj (and everything
 // reachable from it) as immutable once sent.
 func (e *Endpoint) SendObj(ctx *sim.Ctx, dst *Endpoint, tag int, obj any, size int) int {
-	return e.xmit(ctx, dst, tag, nil, obj, size)
+	return e.xmit(ctx, dst, tag, nil, obj, size, false)
 }
 
-func (e *Endpoint) xmit(ctx *sim.Ctx, dst *Endpoint, tag int, payload []byte, obj any, size int) int {
+// SendObjRetrans is SendObj for a protocol retransmission: identical
+// timing, fragmentation and fault exposure, but the wire traffic is
+// accounted under Stats.Retrans instead of Messages/Bytes, keeping the
+// paper's delivered-traffic columns free of recovery overhead.
+func (e *Endpoint) SendObjRetrans(ctx *sim.Ctx, dst *Endpoint, tag int, obj any, size int) int {
+	return e.xmit(ctx, dst, tag, nil, obj, size, true)
+}
+
+func (e *Endpoint) xmit(ctx *sim.Ctx, dst *Endpoint, tag int, payload []byte, obj any, size int, retrans bool) int {
 	if dst == nil {
 		panic("vnet: send to nil endpoint")
 	}
@@ -306,13 +388,18 @@ func (e *Endpoint) xmit(ctx *sim.Ctx, dst *Endpoint, tag int, payload []byte, ob
 	// parallel mode and must commit in serial order.
 	ctx.Gate()
 	cfg := e.net.cfg
+	fc := &cfg.Faults
 	if dst.node == e.node {
 		// Loopback: a process talking to another process (or daemon) on
-		// its own node.  No wire traffic, no accounting.
-		ctx.Compute(cfg.LocalOverhead)
+		// its own node.  No wire traffic, no accounting, no faults.
+		local := cfg.LocalOverhead
+		if e.net.faultsOn {
+			local = scaleTime(local, fc.slow(e.node))
+		}
+		ctx.Compute(local)
 		e.net.seq++
 		m := e.net.alloc()
-		*m = Message{From: e.node, To: dst.node, Tag: tag, Payload: payload, Obj: obj,
+		*m = Message{From: e.id, To: dst.id, Tag: tag, Payload: payload, Obj: obj,
 			Arrival: ctx.Now() + cfg.LocalDelay, size: size, seq: e.net.seq, local: true}
 		dst.deliver(ctx, m)
 		return 1
@@ -326,28 +413,132 @@ func (e *Endpoint) xmit(ctx *sim.Ctx, dst *Endpoint, tag int, payload []byte, ob
 	if e.datagram {
 		wireBytes += int64(frags * cfg.HeaderBytes)
 	}
-	ctx.Compute(sim.Time(frags)*cfg.SendOverhead + cfg.transmit(int(wireBytes)))
+	sendCost := sim.Time(frags)*cfg.SendOverhead + cfg.transmit(int(wireBytes))
+	if e.net.faultsOn {
+		sendCost = scaleTime(sendCost, fc.slow(e.node))
+	}
+	ctx.Compute(sendCost)
 	arrival := ctx.Now() + cfg.Latency
 
 	e.net.seq++
-	m := e.net.alloc()
-	*m = Message{From: e.node, To: dst.node, Tag: tag, Payload: payload, Obj: obj,
-		Arrival: arrival, size: size, seq: e.net.seq}
-	dst.deliver(ctx, m)
+	seq := e.net.seq
 
-	// Accounting.
+	// Wire accounting units: datagram endpoints count fragments and
+	// header bytes; stream endpoints count one user-level send.
+	wn, wb := int64(1), int64(size)
 	if e.datagram {
-		e.stats.Messages += int64(frags)
-		e.stats.Bytes += wireBytes
-		e.net.stats.Messages += int64(frags)
-		e.net.stats.Bytes += wireBytes
-	} else {
-		e.stats.Messages++
-		e.stats.Bytes += int64(size)
-		e.net.stats.Messages++
-		e.net.stats.Bytes += int64(size)
+		wn = int64(frags)
+		wb = wireBytes
+	}
+
+	// Fault layer.  Each decision hashes (seed, seq, kind), so the
+	// outcome is independent of engine mode and of every other message.
+	delivered := true
+	if e.net.faultsOn {
+		if e.datagram {
+			if fc.Jitter > 0 {
+				arrival += sim.Time(fc.draw(seq, kJitter) * float64(fc.Jitter))
+			}
+			if fc.Reorder > 0 && fc.draw(seq, kReorder) < fc.Reorder {
+				d := fc.ReorderDelay
+				if d == 0 {
+					d = 4 * cfg.Latency
+				}
+				arrival += d
+			}
+			if fc.severed(e.node, dst.node, ctx.Now()) ||
+				(fc.Loss > 0 && fc.draw(seq, kLoss) < fc.Loss) {
+				delivered = false
+			}
+			if delivered && fc.Dup > 0 && fc.draw(seq, kDup) < fc.Dup {
+				// Duplicate delivery: a second copy a short, seeded delay
+				// after the first, with its own seq for tie-breaking.
+				dupArrival := arrival + 1 +
+					sim.Time(fc.draw(seq, kDupDelay)*float64(cfg.Latency))
+				e.net.seq++
+				d := e.net.alloc()
+				*d = Message{From: e.id, To: dst.id, Tag: tag, Payload: payload, Obj: obj,
+					Arrival: dupArrival, size: size, seq: e.net.seq}
+				dst.deliver(ctx, d)
+				e.stats.Retrans += wn
+				e.net.stats.Retrans += wn
+			}
+		} else {
+			arrival = e.streamArrival(ctx, dst, seq, arrival)
+		}
+	}
+
+	if delivered {
+		m := e.net.alloc()
+		*m = Message{From: e.id, To: dst.id, Tag: tag, Payload: payload, Obj: obj,
+			Arrival: arrival, size: size, seq: seq}
+		dst.deliver(ctx, m)
+	}
+
+	// Accounting: delivered first transmissions land in Messages/Bytes,
+	// killed ones in Dropped, protocol retransmissions in Retrans (and
+	// also Dropped when killed).  The columns are disjoint.
+	switch {
+	case !delivered:
+		e.stats.Dropped += wn
+		e.net.stats.Dropped += wn
+		if retrans {
+			e.stats.Retrans += wn
+			e.net.stats.Retrans += wn
+		}
+	case retrans:
+		e.stats.Retrans += wn
+		e.net.stats.Retrans += wn
+	default:
+		e.stats.Messages += wn
+		e.stats.Bytes += wb
+		e.net.stats.Messages += wn
+		e.net.stats.Bytes += wb
 	}
 	return frags
+}
+
+// streamArrival emulates a TCP-like ARQ for one stream send: loss and
+// partition draws kill individual attempts, each retry backs off with a
+// doubling timeout (capped at 64x the base RTO), and delivery is
+// guaranteed within 64 attempts.  Deliveries on one directed link stay in
+// send order (TCP is a byte stream), so a send never arrives before its
+// predecessor.  The user sees only added delay — never loss, duplication
+// or reordering.
+func (e *Endpoint) streamArrival(ctx *sim.Ctx, dst *Endpoint, seq uint64, arrival sim.Time) sim.Time {
+	cfg := e.net.cfg
+	fc := &cfg.Faults
+	sent := ctx.Now()
+	for attempt := uint64(0); attempt < 64; attempt++ {
+		lost := fc.severed(e.node, dst.node, sent) ||
+			(fc.Loss > 0 && fc.draw(seq, kStream+attempt) < fc.Loss)
+		if !lost {
+			arrival = sent + cfg.Latency
+			break
+		}
+		e.stats.Dropped++
+		e.net.stats.Dropped++
+		shift := attempt
+		if shift > 6 {
+			shift = 6
+		}
+		sent += e.net.rto << shift
+		e.stats.Retrans++
+		e.net.stats.Retrans++
+		arrival = sent + cfg.Latency // 64-attempt delivery guard
+	}
+	if fc.Jitter > 0 {
+		arrival += sim.Time(fc.draw(seq, kJitter) * float64(fc.Jitter))
+	}
+	// In-order clamp per directed link.
+	if e.arqLast == nil {
+		e.arqLast = map[*Endpoint]sim.Time{}
+	}
+	if last := e.arqLast[dst]; arrival < last {
+		arrival = last
+	}
+	e.arqLast[dst] = arrival
+	return arrival
 }
 
 // deliver files m into its (from, tag) bucket and wakes the endpoint's
@@ -413,7 +604,7 @@ func (e *Endpoint) Recv(ctx *sim.Ctx, from, tag int) *Message {
 	if e.wake.HasWaiter() {
 		panic(fmt.Sprintf("vnet: concurrent Recv on endpoint %d (endpoints are single-consumer)", e.node))
 	}
-	e.wFrom, e.wTag, e.wArmed = from, tag, true
+	e.wFrom, e.wTag, e.wArmed, e.wHasDL = from, tag, true, false
 	ctx.WaitOnLazy(&e.wake, e.wWhat, e.wCond)
 	// Consuming mutates the inbox: a shared operation.  A proc woken from
 	// a condition block already holds the commit token (the scheduler only
@@ -426,6 +617,32 @@ func (e *Endpoint) Recv(ctx *sim.Ctx, from, tag int) *Message {
 	b, m := e.peek(from, tag)
 	if m == nil {
 		panic("vnet: woke with no matching message")
+	}
+	e.take(b)
+	e.chargeRecv(ctx, m)
+	return m
+}
+
+// RecvDeadline is Recv with a timeout: it blocks until a matching message
+// arrives or the caller's clock reaches deadline, whichever is first, and
+// returns nil on timeout.  The timer needs no engine support — the wake
+// condition is always satisfiable (min of the earliest matching arrival
+// and the deadline), and deadlines only ever resolve the condition
+// earlier, preserving the engine's monotonic-wake invariant.  Protocol
+// retransmit loops are built from this plus SendObjRetrans.
+func (e *Endpoint) RecvDeadline(ctx *sim.Ctx, from, tag int, deadline sim.Time) *Message {
+	if e.wake.HasWaiter() {
+		panic(fmt.Sprintf("vnet: concurrent Recv on endpoint %d (endpoints are single-consumer)", e.node))
+	}
+	e.wFrom, e.wTag, e.wArmed = from, tag, true
+	e.wDeadline, e.wHasDL = deadline, true
+	ctx.WaitOnLazy(&e.wake, e.wWhat, e.wCond)
+	ctx.Gate()
+	e.wArmed, e.wHasDL = false, false
+	b, m := e.peek(from, tag)
+	if m == nil || m.Arrival > ctx.Now() {
+		// Woken by the deadline, not a message.
+		return nil
 	}
 	e.take(b)
 	e.chargeRecv(ctx, m)
@@ -467,17 +684,25 @@ func (e *Endpoint) Free(ctx *sim.Ctx, m *Message) {
 }
 
 // Pending reports the number of queued messages (any arrival time).
+// Fault injection never skews the count: a dropped message is simply
+// never enqueued, and a duplicate counts only while its copy is queued —
+// Pending always reflects exactly the live inbox.
 func (e *Endpoint) Pending() int { return e.queued }
 
 func (e *Endpoint) chargeRecv(ctx *sim.Ctx, m *Message) {
 	cfg := e.net.cfg
+	var cost sim.Time
 	if m.local {
-		ctx.Compute(cfg.LocalOverhead)
-		return
+		cost = cfg.LocalOverhead
+	} else {
+		frags := 1
+		if e.datagram && cfg.MTU > 0 && m.size > cfg.MTU {
+			frags = (m.size + cfg.MTU - 1) / cfg.MTU
+		}
+		cost = sim.Time(frags)*cfg.RecvOverhead + sim.Time(m.size)*cfg.RecvPerByte
 	}
-	frags := 1
-	if e.datagram && cfg.MTU > 0 && m.size > cfg.MTU {
-		frags = (m.size + cfg.MTU - 1) / cfg.MTU
+	if e.net.faultsOn {
+		cost = scaleTime(cost, cfg.Faults.slow(e.node))
 	}
-	ctx.Compute(sim.Time(frags)*cfg.RecvOverhead + sim.Time(m.size)*cfg.RecvPerByte)
+	ctx.Compute(cost)
 }
