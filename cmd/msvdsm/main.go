@@ -35,9 +35,14 @@
 //	-apps a,b,..      apps to run (default: all twelve)
 //	-backends a,b,..  backends (default tmk,pvm; see 'msvdsm list')
 //	-scenarios a,..   scenario sets: base, page, mtu, bw, lat, handler,
-//	                colocated, and the fault axes loss, dup, reorder,
-//	                partition, slow (seeded fault injection; see vnet)
+//	                colocated, placement, the fault axes loss, dup,
+//	                reorder, partition, slow (seeded fault injection;
+//	                see vnet), and bigp — the procs=16/64/256 scale-out
+//	                family, which swaps in re-sized workloads and
+//	                defaults -backends to tmk,tmk-sc,tmk-tree,pvm
 //	-nprocs 2,4,8     processor counts the scenario sets expand at
+//	                (default: each set's own counts — 8 for most,
+//	                16,64,256 for bigp)
 package main
 
 import (
@@ -88,7 +93,7 @@ func main() {
 	case "figures":
 		err = runFigures(apps, nil, *procs, *format, run)
 	case "grid":
-		err = runGrid(apps, flag.Args()[1:], *format, run)
+		err = runGrid(apps, *scale, flag.Args()[1:], *format, run)
 	case "ablate":
 		var out string
 		out, err = harness.Ablations(*scale)
@@ -239,14 +244,38 @@ func runFigures(apps []core.App, names []string, maxProcs int, format string, ru
 
 // runGrid parses the grid command's own flags and runs the described
 // cross product.
-func runGrid(apps []core.App, args []string, format string, run runOpts) error {
+func runGrid(apps []core.App, scale float64, args []string, format string, run runOpts) error {
 	fs := flag.NewFlagSet("grid", flag.ContinueOnError)
 	appsFlag := fs.String("apps", "", "comma-separated app names (default: all)")
 	backendsFlag := fs.String("backends", "tmk,pvm", "comma-separated backend names")
 	scenariosFlag := fs.String("scenarios", "base", "comma-separated scenario sets")
-	nprocsFlag := fs.String("nprocs", "8", "comma-separated processor counts")
+	nprocsFlag := fs.String("nprocs", "", "comma-separated processor counts (default: per scenario set)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	sets := strings.Split(*scenariosFlag, ",")
+	bigp := false
+	for i := range sets {
+		sets[i] = strings.TrimSpace(sets[i])
+		if sets[i] == "bigp" {
+			bigp = true
+		}
+	}
+	if bigp {
+		// The scale-out family runs the re-sized workload registry, and
+		// unless told otherwise compares the backends the large-P story
+		// is about (the tree-barrier variant included).
+		apps = harness.BigApps(scale)
+		backendsSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "backends" {
+				backendsSet = true
+			}
+		})
+		if !backendsSet {
+			*backendsFlag = "tmk,tmk-sc,tmk-tree,pvm"
+		}
 	}
 
 	selected := apps
@@ -270,18 +299,20 @@ func runGrid(apps []core.App, args []string, format string, run runOpts) error {
 		backends = append(backends, b)
 	}
 
-	var procs []int
-	for _, s := range strings.Split(*nprocsFlag, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || n < 1 {
-			return fmt.Errorf("bad -nprocs entry %q", s)
+	var procs []int // nil = each set's default counts
+	if *nprocsFlag != "" {
+		for _, s := range strings.Split(*nprocsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -nprocs entry %q (want comma-separated positive counts, e.g. 2,4,8)", s)
+			}
+			procs = append(procs, n)
 		}
-		procs = append(procs, n)
 	}
 
 	var scenarios []core.Scenario
-	for _, set := range strings.Split(*scenariosFlag, ",") {
-		scs, err := harness.ScenarioSet(strings.TrimSpace(set), procs)
+	for _, set := range sets {
+		scs, err := harness.ScenarioSet(set, procs)
 		if err != nil {
 			return err
 		}

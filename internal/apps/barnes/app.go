@@ -39,6 +39,16 @@ func Apps(scale float64) []core.App {
 	return []core.App{&app{cfg: cfg}}
 }
 
+// BigApps returns the registry entry for the bigp scenario family:
+// half the paper's bodies over two steps — enough per-processor work
+// at P=256 that the tree build and force phases stay meaningful.
+func BigApps(scale float64) []core.App {
+	cfg := Paper()
+	cfg.Bodies, cfg.Steps = 4096, 2
+	cfg.Bodies = core.Scaled(cfg.Bodies, scale, 1024)
+	return []core.App{&app{cfg: cfg}}
+}
+
 func (a *app) Name() string { return "Barnes-Hut" }
 func (a *app) Figure() int  { return 10 }
 

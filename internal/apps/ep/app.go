@@ -37,6 +37,18 @@ func Apps(scale float64) []core.App {
 	return []core.App{newApp(cfg)}
 }
 
+// BigApps returns the registry entry for the bigp scenario family: the
+// same class A virtual workload as Paper, modeled with fewer real
+// pairs each standing for more virtual ones, so a procs=256 run stays
+// CI-sized without shrinking the modeled problem.
+func BigApps(scale float64) []core.App {
+	cfg := Paper()
+	cfg.Pairs = 1 << 18
+	cfg.CostScale = 1 << 10
+	cfg.Pairs = core.Scaled(cfg.Pairs, scale, 1<<14)
+	return []core.App{newApp(cfg)}
+}
+
 func (a *app) Name() string { return "EP" }
 func (a *app) Figure() int  { return 1 }
 

@@ -42,6 +42,19 @@ func Apps(scale float64) []core.App {
 	return []core.App{&app{cfg: cfg}}
 }
 
+// BigApps returns the registry entry for the bigp scenario family: a
+// 32^3 cube over two iterations.  The plane distribution hands out 32
+// planes, so processors beyond 32 idle — the honest answer for an app
+// whose decomposition axis is a cube edge.
+func BigApps(scale float64) []core.App {
+	cfg := Paper()
+	cfg.N, cfg.Iters = 32, 2
+	if scale < 1 {
+		cfg.N = 16
+	}
+	return []core.App{&app{cfg: cfg}}
+}
+
 func (a *app) Name() string { return "3D-FFT" }
 func (a *app) Figure() int  { return 11 }
 

@@ -37,6 +37,17 @@ func Apps(scale float64) []core.App {
 	return []core.App{&app{cfg: cfg}}
 }
 
+// BigApps returns the registry entry for the bigp scenario family:
+// more family visits than the paper input (the unit of parallelism)
+// over a smaller genarray, so the per-visit broadcast stays CI-sized
+// at P=256.
+func BigApps(scale float64) []core.App {
+	cfg := Paper()
+	cfg.Families, cfg.G, cfg.Cluster = 24, 2048, 512
+	cfg.Families = core.Scaled(cfg.Families, scale, 4)
+	return []core.App{&app{cfg: cfg}}
+}
+
 func (a *app) Name() string { return "ILINK" }
 func (a *app) Figure() int  { return 12 }
 

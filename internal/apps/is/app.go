@@ -59,6 +59,33 @@ func Apps(scale float64) []core.App {
 	return out
 }
 
+// BigApps returns the registry entries for the bigp scenario family:
+// fewer keys and iterations than the paper inputs (the per-key work is
+// embarrassingly parallel anyway), with the large bucket range clamped
+// so the shared bucket pages every processor diffs at the barrier stay
+// a handful rather than dozens.
+func BigApps(scale float64) []core.App {
+	var out []core.App
+	for _, paper := range []Config{PaperSmall(), PaperLarge()} {
+		cfg := paper
+		cfg.Keys, cfg.Iters = 1<<18, 4
+		if cfg.Bmax > 1<<12 {
+			cfg.Bmax = 1 << 12
+		}
+		cfg.Keys = core.Scaled(cfg.Keys, scale, 1<<14)
+		cfg.Iters = core.Scaled(cfg.Iters, scale, 2)
+		// The clamp above can pull Bmax below NewApp's small/large
+		// threshold, so the paper input — not the clamped one — decides
+		// which registry entry this is.
+		a := newApp(cfg)
+		if paper.Bmax >= 1<<15 {
+			a.name, a.figure = "IS-Large", 5
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
 func (a *app) Name() string { return a.name }
 func (a *app) Figure() int  { return a.figure }
 

@@ -45,6 +45,16 @@ func Apps(scale float64) []core.App {
 	return []core.App{newApp(cfg)}
 }
 
+// BigApps returns the registry entry for the bigp scenario family: a
+// bubble threshold low enough that the task queue holds ~256 leaf
+// sorts, so P=256 workers all find work.
+func BigApps(scale float64) []core.App {
+	cfg := Paper()
+	cfg.N, cfg.Threshold = 128*1024, 512
+	cfg.N = core.Scaled(cfg.N, scale, 1<<14)
+	return []core.App{newApp(cfg)}
+}
+
 func (a *app) Name() string { return "QSORT" }
 func (a *app) Figure() int  { return 7 }
 

@@ -45,6 +45,21 @@ func Apps(scale float64) []core.App {
 	return out
 }
 
+// BigApps returns the registry entries for the bigp scenario family:
+// enough rows that every processor keeps a band at P=256, with the
+// sweep count cut so the simulation stays CI-sized.
+func BigApps(scale float64) []core.App {
+	var out []core.App
+	for _, zero := range []bool{true, false} {
+		cfg := Paper(zero)
+		cfg.M, cfg.N, cfg.Sweeps = 1024, 512, 8
+		cfg.M = core.Scaled(cfg.M, scale, 512)
+		cfg.Sweeps = core.Scaled(cfg.Sweeps, scale, 4)
+		out = append(out, newApp(cfg))
+	}
+	return out
+}
+
 func (a *app) Name() string {
 	if a.cfg.Zero {
 		return "SOR-Zero"

@@ -46,6 +46,18 @@ func Apps(scale float64) []core.App {
 	return []core.App{newApp(cfg)}
 }
 
+// BigApps returns the registry entry for the bigp scenario family: a
+// lower recursion threshold than the paper input, so the task queue
+// holds thousands of subtours and P=256 workers all find work.
+func BigApps(scale float64) []core.App {
+	cfg := Paper()
+	cfg.Cities, cfg.Threshold = 12, 8
+	if scale < 1 {
+		cfg.Cities, cfg.Threshold = 11, 7
+	}
+	return []core.App{newApp(cfg)}
+}
+
 func (a *app) Name() string { return "TSP" }
 func (a *app) Figure() int  { return 6 }
 

@@ -53,6 +53,24 @@ func Apps(scale float64) []core.App {
 	}
 }
 
+// BigApps returns the registry entries for the bigp scenario family:
+// molecule counts that keep several molecules per processor at P=256,
+// over two steps.  Both entries keep their paper names, as quick mode
+// already does.
+func BigApps(scale float64) []core.App {
+	small := Paper288()
+	small.Mols, small.Steps = 512, 2
+	large := Paper1728()
+	large.Mols, large.Steps = 1024, 2
+	if scale < 1 {
+		small.Steps, large.Steps = 1, 1
+	}
+	return []core.App{
+		&app{cfg: small, name: "Water-288", figure: 8},
+		&app{cfg: large, name: "Water-1728", figure: 9},
+	}
+}
+
 func (a *app) Name() string { return a.name }
 func (a *app) Figure() int  { return a.figure }
 

@@ -58,6 +58,23 @@ func Apps(scale float64) []core.App {
 	return apps
 }
 
+// BigApps returns the large-P registry: the same twelve experiments
+// re-sized for the bigp scenario family, where the interesting axis is
+// processor count (64, 256), not problem scale.  Workloads keep enough
+// per-processor work to exercise the protocols at P=256 while a full
+// grid stays CI-sized.
+func BigApps(scale float64) []core.App {
+	var apps []core.App
+	for _, pkg := range []func(float64) []core.App{
+		ep.BigApps, sor.BigApps, is.BigApps, tsp.BigApps, qsort.BigApps,
+		water.BigApps, barnes.BigApps, fft.BigApps, ilink.BigApps,
+	} {
+		apps = append(apps, pkg(scale)...)
+	}
+	sort.SliceStable(apps, func(i, j int) bool { return apps[i].Figure() < apps[j].Figure() })
+	return apps
+}
+
 // Find returns the app whose name matches (case-insensitive,
 // punctuation-insensitive), or nil.
 func Find(apps []core.App, name string) core.App {

@@ -126,6 +126,31 @@ func ColocatedScenario(nprocs int) core.Scenario {
 	return sc
 }
 
+// PlacementScenarios sweeps synchronization-manager placement at a
+// fixed processor count — the large-P question of whether proc 0
+// serializes.  The testbed default distributes lock managers
+// round-robin and centralizes barriers on proc 0; "mgr=proc0" pulls
+// the lock managers onto proc 0 too (fully centralized), "mgr=spread"
+// spreads the barrier managers round-robin as well (fully
+// distributed).
+func PlacementScenarios(nprocs int) []core.Scenario {
+	central := core.Base(nprocs)
+	central.Name = "mgr=proc0"
+	central.DSM.CentralLockMgr = true
+	spread := core.Base(nprocs)
+	spread.Name = "mgr=spread"
+	spread.DSM.SpreadBarrierMgr = true
+	return []core.Scenario{central, spread}
+}
+
+// BigScenario is the procs=64/256 scale-out cell: the paper's testbed
+// network at a processor count the paper's hardware never reached.
+func BigScenario(nprocs int) core.Scenario {
+	sc := core.Base(nprocs)
+	sc.Name = "bigp"
+	return sc
+}
+
 // faultSeed derives a stable fault-injection seed from a scenario's
 // coordinates (FNV-1a over the name, mixed with the processor count), so
 // every (scenario, nprocs) cell sees its own reproducible fault pattern.
@@ -239,23 +264,28 @@ func SlowScenarios(nprocs int, factors ...float64) []core.Scenario {
 
 // scenarioSets is the single registry of named scenario axes: the CLI
 // lists its keys and ScenarioSet resolves against it, so a new axis is
-// one entry here.
+// one entry here.  procs lists the processor counts a set supports and
+// defaults to when the caller passes none; nil means any count, with
+// the testbed's 8 as the default.
 var scenarioSets = []struct {
 	name   string
+	procs  []int
 	expand func(nprocs int) []core.Scenario
 }{
-	{"base", func(n int) []core.Scenario { return []core.Scenario{core.Base(n)} }},
-	{"page", func(n int) []core.Scenario { return PageSizeScenarios(n) }},
-	{"mtu", func(n int) []core.Scenario { return MTUScenarios(n) }},
-	{"bw", BandwidthScenarios},
-	{"lat", func(n int) []core.Scenario { return LatencyScenarios(n) }},
-	{"handler", func(n int) []core.Scenario { return HandlerScenarios(n) }},
-	{"colocated", func(n int) []core.Scenario { return []core.Scenario{ColocatedScenario(n)} }},
-	{"loss", func(n int) []core.Scenario { return LossScenarios(n) }},
-	{"dup", func(n int) []core.Scenario { return DupScenarios(n) }},
-	{"reorder", func(n int) []core.Scenario { return ReorderScenarios(n) }},
-	{"partition", PartitionScenarios},
-	{"slow", func(n int) []core.Scenario { return SlowScenarios(n) }},
+	{"base", nil, func(n int) []core.Scenario { return []core.Scenario{core.Base(n)} }},
+	{"page", nil, func(n int) []core.Scenario { return PageSizeScenarios(n) }},
+	{"mtu", nil, func(n int) []core.Scenario { return MTUScenarios(n) }},
+	{"bw", nil, BandwidthScenarios},
+	{"lat", nil, func(n int) []core.Scenario { return LatencyScenarios(n) }},
+	{"handler", nil, func(n int) []core.Scenario { return HandlerScenarios(n) }},
+	{"colocated", nil, func(n int) []core.Scenario { return []core.Scenario{ColocatedScenario(n)} }},
+	{"placement", nil, PlacementScenarios},
+	{"loss", nil, func(n int) []core.Scenario { return LossScenarios(n) }},
+	{"dup", nil, func(n int) []core.Scenario { return DupScenarios(n) }},
+	{"reorder", nil, func(n int) []core.Scenario { return ReorderScenarios(n) }},
+	{"partition", nil, PartitionScenarios},
+	{"slow", nil, func(n int) []core.Scenario { return SlowScenarios(n) }},
+	{"bigp", []int{16, 64, 256}, func(n int) []core.Scenario { return []core.Scenario{BigScenario(n)} }},
 }
 
 // ScenarioSets lists the registered scenario-axis names.
@@ -267,19 +297,51 @@ func ScenarioSets() []string {
 	return out
 }
 
+// ScenarioSetProcs returns the processor counts a named set runs at
+// when the caller specifies none.
+func ScenarioSetProcs(name string) []int {
+	for _, s := range scenarioSets {
+		if s.name == name {
+			if s.procs != nil {
+				return append([]int(nil), s.procs...)
+			}
+			return []int{8}
+		}
+	}
+	return nil
+}
+
 // ScenarioSet resolves a named scenario axis at the given processor
 // counts — the CLI's scenario-selection surface.  Sweep axes expand at
-// each count.
+// each count; nil procs selects the set's defaults.  Sets that declare
+// supported counts reject others by listing the valid choices, rather
+// than expanding into a grid nothing was validated at.
 func ScenarioSet(name string, procs []int) ([]core.Scenario, error) {
 	for _, s := range scenarioSets {
 		if s.name != name {
 			continue
 		}
+		if procs == nil {
+			procs = ScenarioSetProcs(name)
+		}
 		var out []core.Scenario
 		for _, n := range procs {
+			if s.procs != nil && !containsInt(s.procs, n) {
+				return nil, fmt.Errorf("scenario set %q does not run at %d processors (valid: %v)",
+					name, n, s.procs)
+			}
 			out = append(out, s.expand(n)...)
 		}
 		return out, nil
 	}
 	return nil, fmt.Errorf("unknown scenario set %q (have %v)", name, ScenarioSets())
+}
+
+func containsInt(xs []int, n int) bool {
+	for _, x := range xs {
+		if x == n {
+			return true
+		}
+	}
+	return false
 }

@@ -289,3 +289,73 @@ func TestAppBackendConformance(t *testing.T) {
 		}
 	}
 }
+
+// TestTreeBarrierConformance runs every app under the combining-tree
+// variants across processor counts from the degenerate two-node tree
+// (root plus one leaf) up through a multi-level radix-2 tree at 64 —
+// every structural case of the arrival/departure protocol — checking
+// each output against the app's own sequential run.
+func TestTreeBarrierConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full app x procs cross product")
+	}
+	for _, nprocs := range []int{2, 4, 8, 64} {
+		for _, app := range Apps(0.01) {
+			if _, err := core.Seq.Run(app, core.Base(1)); err != nil {
+				t.Fatalf("%s seq: %v", app.Name(), err)
+			}
+			for _, b := range []core.Backend{TMKTree, TMKSCTree} {
+				if _, err := b.Run(app, core.Base(nprocs)); err != nil {
+					t.Fatalf("%s/%s procs=%d: %v", app.Name(), b.Name(), nprocs, err)
+				}
+				if err := app.Check(); err != nil {
+					t.Errorf("%s/%s procs=%d output check: %v", app.Name(), b.Name(), nprocs, err)
+				}
+			}
+		}
+	}
+}
+
+// TestBigAppsMirrorApps pins the bigp registry's shape to the paper
+// registry's: same app names in the same figure order, so `grid -apps`
+// selection works identically in both families.  (Caught a real bug:
+// the IS bucket-range clamp ran before the small/large name inference,
+// collapsing IS-Large into a second IS-Small entry.)
+func TestBigAppsMirrorApps(t *testing.T) {
+	paper, big := Apps(1.0), BigApps(1.0)
+	if len(big) != len(paper) {
+		t.Fatalf("BigApps has %d entries, Apps has %d", len(big), len(paper))
+	}
+	for i, app := range paper {
+		if big[i].Name() != app.Name() {
+			t.Errorf("entry %d: BigApps name %q, Apps name %q", i, big[i].Name(), app.Name())
+		}
+		if big[i].Figure() != app.Figure() {
+			t.Errorf("entry %d (%s): BigApps figure %d, Apps figure %d",
+				i, app.Name(), big[i].Figure(), app.Figure())
+		}
+	}
+}
+
+// TestPlacementConformance runs every app under both manager-placement
+// scenarios (fully centralized on proc 0, barrier managers spread),
+// checking outputs against the sequential run: placement must move
+// traffic, never results.
+func TestPlacementConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full app x placement cross product")
+	}
+	for _, sc := range PlacementScenarios(4) {
+		for _, app := range Apps(0.01) {
+			if _, err := core.Seq.Run(app, core.Base(1)); err != nil {
+				t.Fatalf("%s seq: %v", app.Name(), err)
+			}
+			if _, err := core.TMK.Run(app, sc); err != nil {
+				t.Fatalf("%s/%s: %v", app.Name(), sc.Name, err)
+			}
+			if err := app.Check(); err != nil {
+				t.Errorf("%s/%s output check: %v", app.Name(), sc.Name, err)
+			}
+		}
+	}
+}

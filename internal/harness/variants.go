@@ -39,10 +39,34 @@ var TMKEager = core.Variant("tmk-sc", core.TMK, func(sc core.Scenario) core.Scen
 	return sc
 })
 
+// TMKTree is TreadMarks with the radix-2 combining-tree barrier
+// (tmk.Config.TreeBarrier): arrivals climb a k-ary tree merging
+// timestamps and interval records at each internal node, departures
+// descend it with per-subtree record filtering.  The message *count*
+// floor of a barrier — 2(n-1) — is inherent; what the tree buys at
+// large P is fragmentation: centralized departures carry the full
+// record union and straddle the MTU, tree departures exclude what each
+// subtree already holds and fit in one fragment.
+var TMKTree = core.Variant("tmk-tree", core.TMK, func(sc core.Scenario) core.Scenario {
+	sc.DSM.TreeBarrier = 2
+	return sc
+})
+
+// TMKSCTree is the eager-invalidate ablation rebuilt for large P: the
+// combining-tree barrier plus a fan-out tree (tmk.Config.TreeFanout)
+// for the per-interval invalidation broadcast, so neither the barrier
+// manager nor a busy writer serializes O(P) sends.
+var TMKSCTree = core.Variant("tmk-sc-tree", core.TMK, func(sc core.Scenario) core.Scenario {
+	sc.DSM.EagerInvalidate = true
+	sc.DSM.TreeBarrier = 2
+	sc.DSM.TreeFanout = 4
+	return sc
+})
+
 // Backends returns every registered backend: the standard adapters in
 // reporting order, then the variants.
 func Backends() []core.Backend {
-	return append(core.StandardBackends(), PVMXDR, TMKSmallPage, TMKEager)
+	return append(core.StandardBackends(), PVMXDR, TMKSmallPage, TMKEager, TMKTree, TMKSCTree)
 }
 
 // FindBackend resolves a backend by name.

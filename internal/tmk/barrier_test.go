@@ -27,7 +27,7 @@ func TestMergeArrivalRecordsMatchesMapUnion(t *testing.T) {
 			pool[key] = r
 			return r
 		}
-		arrived := make([]*barrMsg, nprocs)
+		arrived := make([][]*IntervalRec, nprocs)
 		for i := range arrived {
 			var batch []*IntervalRec
 			for proc := 0; proc < nprocs; proc++ {
@@ -42,13 +42,13 @@ func TestMergeArrivalRecordsMatchesMapUnion(t *testing.T) {
 					batch = append(batch, rec(proc, idx))
 				}
 			}
-			arrived[i] = &barrMsg{Records: batch}
+			arrived[i] = batch
 		}
 
 		// Reference: the former implementation's map union plus sort.
 		union := map[[2]int]*IntervalRec{}
 		for _, a := range arrived {
-			for _, r := range a.Records {
+			for _, r := range a {
 				union[[2]int{r.Proc, r.Idx}] = r
 			}
 		}
@@ -63,7 +63,7 @@ func TestMergeArrivalRecordsMatchesMapUnion(t *testing.T) {
 			return want[i].Idx < want[j].Idx
 		})
 
-		got, _ := mergeArrivalRecords(arrived, nil, nil)
+		got, _ := mergeRecordBatches(arrived, nil, nil)
 		if len(got) != len(want) {
 			t.Fatalf("trial %d: merged %d records, want %d", trial, len(got), len(want))
 		}

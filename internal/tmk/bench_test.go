@@ -86,10 +86,23 @@ func BenchmarkAccess(b *testing.B) {
 // one access fault per page (write-notice scan, minimal cover, diff
 // request/response, happens-before apply).  Allocations per round are the
 // fault path's GC footprint.
-func BenchmarkFault(b *testing.B) {
+func BenchmarkFault(b *testing.B) { benchFaultRound(b, vnet.FDDI()) }
+
+// BenchmarkFaultReliable is the same round with the at-least-once layer
+// armed: a zero-width partition makes the fault model Lossy() without
+// ever dropping a message, so sequence numbers, retransmit timers and
+// the retransmit-path timestamp clones (routed through the per-proc
+// arena) all run on a deterministic schedule.
+func BenchmarkFaultReliable(b *testing.B) {
+	nc := vnet.FDDI()
+	nc.Faults.Partitions = []vnet.Partition{{Start: sim.Millisecond, Heal: sim.Millisecond, Nodes: []int{1}}}
+	benchFaultRound(b, nc)
+}
+
+func benchFaultRound(b *testing.B, nc vnet.Config) {
 	const pages = 8
 	e := sim.NewEngine()
-	n := vnet.New(vnet.FDDI())
+	n := vnet.New(nc)
 	s := NewSystem(e, n, 2, DefaultConfig())
 	base := s.MallocPageAligned(4096 * pages)
 	k := b.N
@@ -127,6 +140,59 @@ func BenchmarkFault(b *testing.B) {
 	}
 }
 
+// runLargeP runs b.N rounds of body-then-barrier on an nprocs system —
+// the scale-out protocol benchmark harness.  Wall time per op is one
+// full round across all processors.
+func runLargeP(b *testing.B, nprocs int, cfg Config, body func(p *Proc, r int, base Addr)) {
+	b.Helper()
+	e := sim.NewEngine()
+	n := vnet.New(vnet.FDDI())
+	s := NewSystem(e, n, nprocs, cfg)
+	base := s.MallocPageAligned(4096 * nprocs)
+	k := b.N
+	for i := 0; i < nprocs; i++ {
+		s.Spawn(i, func(p *Proc) {
+			for r := 0; r < k; r++ {
+				if body != nil {
+					body(p, r, base)
+				}
+				p.Barrier(r)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkLargeP measures the protocol paths the procs=64/256 scenario
+// family leans on, at P=64: an empty barrier round (centralized versus
+// radix-2 combining tree), a round where every processor closes an
+// interval (64 write notices through the barrier), and an eager-mode
+// round (flat broadcast versus radix-4 fan-out tree).
+func BenchmarkLargeP(b *testing.B) {
+	const nprocs = 64
+	ownPage := func(p *Proc, r int, base Addr) {
+		p.WriteI64(base+Addr(p.ID()*4096), int64(r))
+	}
+	tree := DefaultConfig()
+	tree.TreeBarrier = 2
+	eager := DefaultConfig()
+	eager.EagerInvalidate = true
+	eagerTree := eager
+	eagerTree.TreeBarrier = 2
+	eagerTree.TreeFanout = 4
+
+	b.Run("barrier-central", func(b *testing.B) { runLargeP(b, nprocs, DefaultConfig(), nil) })
+	b.Run("barrier-tree", func(b *testing.B) { runLargeP(b, nprocs, tree, nil) })
+	b.Run("close-central", func(b *testing.B) { runLargeP(b, nprocs, DefaultConfig(), ownPage) })
+	b.Run("close-tree", func(b *testing.B) { runLargeP(b, nprocs, tree, ownPage) })
+	b.Run("eager-flat", func(b *testing.B) { runLargeP(b, nprocs, eager, ownPage) })
+	b.Run("eager-tree", func(b *testing.B) { runLargeP(b, nprocs, eagerTree, ownPage) })
+}
+
 // faultAllocBudget is the ceiling on BenchmarkFault's allocs/op (one
 // 8-page fault round: write notices, minimal cover, diff request/
 // response, happens-before apply, two barriers).  History: 200 at PR 1,
@@ -136,10 +202,19 @@ func BenchmarkFault(b *testing.B) {
 // justification in the commit that does.
 const faultAllocBudget = 40
 
+// reliableAllocBudget is the ceiling for the same round with the
+// at-least-once layer armed (BenchmarkFaultReliable): the flat round
+// plus sequence bookkeeping, timer scheduling, and the retransmit-path
+// message builds, whose cloned-into-message timestamps must come from
+// the per-proc arena rather than the heap.  Measured 54 when pinned.
+const reliableAllocBudget = 64
+
 // TestFaultPathAllocBudget pins the fault path's GC footprint: a
 // steady-state faulting round must stay within faultAllocBudget
-// allocations.  This is the regression gate behind the free-list's
-// "last per-send allocation" claim.
+// allocations, and within reliableAllocBudget once the reliability
+// layer arms.  This is the regression gate behind the free-list's
+// "last per-send allocation" claim and the arena routing of the
+// retransmit path's timestamp clones.
 func TestFaultPathAllocBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("benchmark-backed budget check")
@@ -147,5 +222,9 @@ func TestFaultPathAllocBudget(t *testing.T) {
 	res := testing.Benchmark(BenchmarkFault)
 	if got := res.AllocsPerOp(); got > faultAllocBudget {
 		t.Errorf("fault round allocates %d times, budget %d", got, faultAllocBudget)
+	}
+	res = testing.Benchmark(BenchmarkFaultReliable)
+	if got := res.AllocsPerOp(); got > reliableAllocBudget {
+		t.Errorf("reliable fault round allocates %d times, budget %d", got, reliableAllocBudget)
 	}
 }

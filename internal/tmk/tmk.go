@@ -82,6 +82,41 @@
 // Proc.Timeouts counter.  With a fault-free network none of this runs:
 // sequence numbers stay zero and every receive is the plain blocking
 // Recv, so results are byte-identical to the pre-fault protocol.
+//
+// # Large-P variants
+//
+// The paper's testbed stops at 8 processors; the procs=64/256 scenario
+// family runs the same protocol at counts where its centralized pieces
+// become the story.  Vector timestamps are stored sparsely (vc.go) so
+// per-access protocol cost scales with the number of active writers a
+// processor has heard from, not with P; the wire encoding stays dense,
+// so modeled message sizes are unchanged (a sparse wire delta encoding
+// is the documented follow-on, and a model change).  Two Config knobs
+// restructure the message flow itself:
+//
+//   - TreeBarrier replaces the centralized barrier with a radix-k
+//     combining tree: arrivals aggregate up it (merged timestamp,
+//     pointwise-minimum timestamp, deduplicated record union) and
+//     departures fan back down with per-subtree record filtering.  The
+//     2(n-1) message floor of a barrier is inherent; the tree removes
+//     the manager's O(n) serial work and, at large P, the MTU
+//     fragmentation of full-union departures.
+//   - TreeFanout routes the eager-invalidate broadcast through a
+//     writer-rooted radix-k multicast tree, bounding any node's serial
+//     send burst at k.  Relays break the one-hop uniform-latency
+//     argument that made flat delivery causally ordered, so this knob
+//     also arms causal admission buffering (System.causalAdmit).
+//
+// CentralLockMgr and SpreadBarrierMgr move the static manager
+// placements (locks round-robin, barriers on processor 0 by default)
+// to the extremes the `placement` scenario axis sweeps.
+//
+// All four are variants, not defaults: the paper's protocol is the
+// centralized one, the pinned goldens certify the modeled metrics of
+// exactly that protocol, and the variants exist to measure what each
+// restructuring buys at processor counts the paper never reached
+// (backends tmk-tree and tmk-sc-tree, scenario sets bigp and
+// placement).
 package tmk
 
 import (
@@ -115,6 +150,52 @@ type Config struct {
 	// rather than at the next acquire.  This is the one-knob ablation for
 	// the cost of eagerness: same applications, strictly more messages.
 	EagerInvalidate bool
+
+	// TreeBarrier selects the combining-tree barrier: arrivals aggregate
+	// up a radix-k tree rooted at processor 0 (parent(i) = (i-1)/k) and
+	// departures fan back down it, instead of every client exchanging
+	// messages with the centralized manager.  Each upward edge carries
+	// the subtree's merged timestamp, its pointwise-minimum timestamp,
+	// and the deduplicated union of its write-notice batches; each
+	// downward edge carries only the records some member of the target
+	// subtree lacks, minus what the subtree itself announced.  The
+	// barrier still costs 2(n-1) logical messages — that floor is
+	// inherent, every non-root processor must sync once up and once down
+	// — but large departures drop below the MTU fragmentation threshold,
+	// so the wire message count falls at large P.  Zero keeps the
+	// paper's centralized manager; k must be >= 2 otherwise.  This is a
+	// protocol variant (tmk-tree), not a default: it legitimately
+	// changes modeled message counts, which the pinned paper grid must
+	// not.  Mutually exclusive with SpreadBarrierMgr, and unsupported on
+	// a lossy network (the at-least-once layer covers only the
+	// client/manager RPC shape).
+	TreeBarrier int
+
+	// TreeFanout routes the eager-invalidate broadcast through a
+	// radix-k multicast tree rooted at the writer (position q relabels
+	// to (q-writer) mod n) instead of the writer sending n-1 messages
+	// itself: receivers forward the shared invMsg to their tree
+	// children.  Total messages and bytes are unchanged — n-1 copies
+	// still cross the wire — but the writer's serial send burst
+	// collapses to k sends, so interval close stops being an O(P)
+	// stall.  Zero keeps the flat loop; k must be >= 2 otherwise.
+	// Only meaningful with EagerInvalidate (tmk-sc-tree).
+	TreeFanout int
+
+	// CentralLockMgr statically places every lock's manager on
+	// processor 0 instead of the default spread assignment (id mod n) —
+	// one half of the manager-placement scenario axis.  First acquires
+	// all contact processor 0; steady-state forwarding is unchanged.
+	CentralLockMgr bool
+
+	// SpreadBarrierMgr assigns barrier id's manager to processor id mod
+	// n instead of the default processor 0 — the other half of the
+	// placement axis.  Distinct barrier ids then spread their arrival
+	// bursts across processors.  Safe without overlap handling: a
+	// client only arrives at its next barrier after receiving the
+	// departure of the previous one, so two barriers managed by the
+	// same processor cannot be simultaneously open.
+	SpreadBarrierMgr bool
 
 	// RetransBase and RetransCap tune the at-least-once RPC layer armed
 	// when the network's fault injection is lossy: the first retransmit
@@ -152,7 +233,14 @@ type System struct {
 
 	// At-least-once RPC layer, armed only when the network can lose,
 	// duplicate or reorder messages (see the package fault-model doc).
-	reliable    bool
+	reliable bool
+	// causalAdmit buffers eager notices that arrive ahead of records
+	// their timestamp covers (admitRecord).  Armed with reliable (loss
+	// reorders notices) and with TreeFanout: a relayed notice crosses
+	// several hops while a causally-earlier notice from a different
+	// writer may still be mid-relay in its own tree, so one-hop
+	// uniform-latency delivery no longer implies causal delivery.
+	causalAdmit bool
 	rBase, rCap sim.Time // retransmit timeout: base, doubling cap
 }
 
@@ -164,9 +252,26 @@ func NewSystem(eng *sim.Engine, net *vnet.Network, n int, cfg Config) *System {
 	if cfg.PageSize <= 0 || cfg.PageSize%8 != 0 {
 		panic("tmk: page size must be a positive multiple of 8")
 	}
+	if cfg.TreeBarrier != 0 && cfg.TreeBarrier < 2 {
+		panic("tmk: TreeBarrier radix must be >= 2")
+	}
+	if cfg.TreeFanout != 0 && cfg.TreeFanout < 2 {
+		panic("tmk: TreeFanout radix must be >= 2")
+	}
+	if cfg.TreeBarrier != 0 && cfg.SpreadBarrierMgr {
+		panic("tmk: TreeBarrier and SpreadBarrierMgr are mutually exclusive")
+	}
 	s := &System{eng: eng, net: net, cfg: cfg, n: n, initial: map[int][]byte{}}
 	nc := net.Config()
 	s.reliable = nc.Faults.Lossy()
+	s.causalAdmit = s.reliable || cfg.TreeFanout != 0
+	if cfg.TreeBarrier != 0 && s.reliable {
+		// The at-least-once layer retransmits the client/manager RPC
+		// shape; the tree's hop-by-hop aggregation has no reply per
+		// edge to time out on.  Keep the variant honest instead of
+		// silently unreliable.
+		panic("tmk: TreeBarrier requires a fault-free network")
+	}
 	if s.reliable {
 		s.rBase = cfg.RetransBase
 		if s.rBase == 0 {
@@ -193,12 +298,45 @@ func NewSystem(eng *sim.Engine, net *vnet.Network, n int, cfg Config) *System {
 			lastMgrVC: NewVC(n),
 			faultPg:   -1,
 		}
-		if i == 0 {
+		switch {
+		case cfg.TreeBarrier != 0:
+			// Tree mode: aggregation state lives on every processor
+			// with children, and on the root even when childless (n=1).
+			if kids := s.treeKids(i); kids > 0 || i == 0 {
+				p.tree = &treeBarrState{id: -1, arr: make([]*treeArrMsg, 1+kids)}
+			}
+		case cfg.SpreadBarrierMgr:
+			p.barrier = &barrierState{id: -1} // any proc can manage some barrier id
+		case i == 0:
 			p.barrier = &barrierState{id: -1}
 		}
 		s.procs = append(s.procs, p)
 	}
 	return s
+}
+
+// treeKids returns how many combining-tree children processor i has
+// under the configured radix: the ids k*i+1 .. k*i+k that exist.
+func (s *System) treeKids(i int) int {
+	k := s.cfg.TreeBarrier
+	lo := k*i + 1
+	if lo >= s.n {
+		return 0
+	}
+	hi := lo + k
+	if hi > s.n {
+		hi = s.n
+	}
+	return hi - lo
+}
+
+// barrierMgr returns the managing processor of barrier id under the
+// configured placement (centralized barrier protocol only).
+func (s *System) barrierMgr(id int) int {
+	if s.cfg.SpreadBarrierMgr {
+		return id % s.n
+	}
+	return 0
 }
 
 // N returns the number of processors.
@@ -445,14 +583,26 @@ func (a *memArena) newRec() *IntervalRec {
 	return r
 }
 
-// newVC returns a zeroed length-n vector timestamp carved from the arena.
-func (a *memArena) newVC(n int) VC {
-	if n > len(a.vcs) {
-		a.vcs = make([]int32, max(4096, n))
+// cloneVC copies v into arena storage: the sparse entry slices are
+// carved as 2k int32s from the shared pool.  Carvings are exact-cap,
+// so a later append on the clone reallocates instead of growing into
+// pool memory.  Used for the immutable timestamp snapshots published
+// in interval records and for the clones that reliable mode puts into
+// retransmittable messages.
+func (a *memArena) cloneVC(v VC) VC {
+	k := len(v.ps)
+	if k == 0 {
+		return VC{n: v.n}
 	}
-	v := a.vcs[:n:n]
-	a.vcs = a.vcs[n:]
-	return VC(v)
+	if 2*k > len(a.vcs) {
+		a.vcs = make([]int32, max(4096, 2*k))
+	}
+	ps := a.vcs[:k:k]
+	vs := a.vcs[k : 2*k : 2*k]
+	a.vcs = a.vcs[2*k:]
+	copy(ps, v.ps)
+	copy(vs, v.vs)
+	return VC{n: v.n, ps: ps, vs: vs}
 }
 
 // newPages returns an empty capacity-n page list carved from the arena.
@@ -520,6 +670,29 @@ type barrierState struct {
 	lastSeq  []int
 	lastDep  []*barrMsg
 	lastSize []int
+
+	// Centralized-mode batch scratch feeding mergeRecordBatches.
+	batches [][]*IntervalRec
+}
+
+// treeBarrState is one internal node's (or the root's) aggregation
+// state for the combining-tree barrier.  Slot 0 of arr holds the
+// node's own arrival (sent loopback from its application thread);
+// slot s >= 1 holds the arrival of child k*id+s.  The node's union
+// scratch doubles as its upward Records batch and, at redistribution
+// time, as the subtree-exclusion set: records the subtree announced
+// itself never ride back down to it.
+type treeBarrState struct {
+	id   int // barrier in progress (-1: idle)
+	got  int // arrivals so far; need == len(arr)
+	arr  []*treeArrMsg
+	aggr VC // scratch: subtree pointwise-max timestamp
+
+	// Merge scratch, reused across barriers (see barrierState).
+	union   []*IntervalRec
+	heads   []int
+	batches [][]*IntervalRec
+	down    []*IntervalRec // internal nodes: merged departure set
 }
 
 // Proc is one TreadMarks processor.
@@ -533,10 +706,12 @@ type Proc struct {
 	pages     []*page
 	vc        VC
 	recs      [][]*IntervalRec // [proc][idx], contiguous
+	recProcs  []int32          // writers with records filed here, ascending
 	dirty     []int            // pages twinned in the current interval
 	locks     map[int]*plock
 	lastMgrVC VC // barrier manager's merged vc at the last departure
 	barrier   *barrierState
+	tree      *treeBarrState // combining-tree aggregation (TreeBarrier mode)
 	pendInv   []*IntervalRec // eager notices deferred while a page was busy
 	faultPg   int            // page mid-fault (service may not invalidate it); -1 otherwise
 
@@ -622,7 +797,7 @@ func (p *Proc) lock(id int) *plock {
 	lk, ok := p.locks[id]
 	if !ok {
 		lk = &plock{nextGrant: -1, releaseVC: NewVC(p.sys.n)}
-		mgr := id % p.sys.n
+		mgr := p.manager(id)
 		if p.id == mgr {
 			lk.owned = true // locks start out owned by their manager
 			lk.mgrLast = mgr
@@ -676,7 +851,12 @@ func (p *Proc) rpcRecv(ctx *sim.Ctx, from, tag, want int, resend func(), seqOf f
 	}
 }
 
-func (p *Proc) manager(lockID int) int { return lockID % p.sys.n }
+func (p *Proc) manager(lockID int) int {
+	if p.sys.cfg.CentralLockMgr {
+		return 0
+	}
+	return lockID % p.sys.n
+}
 
 // ---------------------------------------------------------------------
 // Intervals and write notices.
@@ -692,7 +872,7 @@ func (p *Proc) closeInterval() {
 		return
 	}
 	sort.Ints(p.dirty)
-	idx := int(p.vc[p.id])
+	idx := int(p.vc.Get(p.id))
 	rec := p.arena.newRec()
 	rec.Proc, rec.Idx = p.id, idx
 	rec.Pages = append(p.arena.newPages(len(p.dirty)), p.dirty...)
@@ -710,15 +890,17 @@ func (p *Proc) closeInterval() {
 	}
 	p.dirty = p.dirty[:0]
 	p.wc = accCache{} // twins dropped: writes must re-twin via the slow path
-	p.vc[p.id]++
+	p.vc.SetMax(p.id, int32(idx+1))
 	// Timestamp includes the interval itself.  The snapshot is taken
 	// before draining deferred notices: a record may only claim coverage
 	// of intervals whose diffs this processor has actually applied, or
 	// the minimal-cover dominance argument would contact a writer for
 	// diffs it never fetched.
-	rec.VC = p.arena.newVC(p.sys.n)
-	copy(rec.VC, p.vc)
+	rec.VC = p.arena.cloneVC(p.vc)
 	p.recs[p.id] = append(p.recs[p.id], rec)
+	if len(p.recs[p.id]) == 1 {
+		p.noteRecProc(p.id)
+	}
 	if p.sys.cfg.EagerInvalidate {
 		p.broadcastInvalidation(rec)
 		p.drainInvalidations()
@@ -727,17 +909,44 @@ func (p *Proc) closeInterval() {
 
 // broadcastInvalidation ships a freshly closed interval's write notices
 // to every other processor's service daemon (eager-invalidate mode).
+// With TreeFanout set, the writer only seeds its multicast-tree
+// children; their service daemons relay onward (see serve), so the
+// writer's serial send burst is O(k) instead of O(P).  Message and
+// byte totals are identical either way: n-1 copies of the same notice.
 func (p *Proc) broadcastInvalidation(rec *IntervalRec) {
 	if p.sys.n == 1 {
 		return
 	}
 	m := &invMsg{From: p.id, Records: []*IntervalRec{rec}}
+	if p.sys.cfg.TreeFanout != 0 {
+		p.sendInvalChildren(p.app, p.ep, m, 0)
+		return
+	}
 	size := m.wireSize()
 	for q := 0; q < p.sys.n; q++ {
 		if q == p.id {
 			continue
 		}
 		p.ep.SendObj(p.app, p.sys.procs[q].srv, tagInval, m, size)
+	}
+}
+
+// sendInvalChildren forwards an eager notice to this node's children in
+// the radix-k multicast tree rooted at the writer: position q in the
+// tree is processor (writer+q) mod n, so every broadcast uses the same
+// balanced shape regardless of who wrote.  The shared invMsg is
+// immutable and travels by reference, each hop charged its full wire
+// size.
+func (p *Proc) sendInvalChildren(ctx *sim.Ctx, from *vnet.Endpoint, m *invMsg, pos int) {
+	n, k := p.sys.n, p.sys.cfg.TreeFanout
+	size := m.wireSize()
+	for s := 1; s <= k; s++ {
+		cpos := k*pos + s
+		if cpos >= n {
+			return
+		}
+		q := (m.From + cpos) % n
+		from.SendObj(ctx, p.sys.procs[q].srv, tagInval, m, size)
 	}
 }
 
@@ -827,9 +1036,10 @@ func (p *Proc) applyRecords(recs []*IntervalRec) {
 // admitRecord files one interval record.  Sync-time batches (grants,
 // departures) are gap-free per writer, so a record ahead of its
 // predecessors can only be an eager notice whose predecessor was lost;
-// with the reliability layer armed it is buffered in futureRecs until
-// the gap fills (the predecessor piggybacks on the next grant or
-// departure), and without it a gap is a protocol-invariant violation.
+// with causal admission armed (System.causalAdmit) it is buffered in
+// futureRecs until the gap fills (the predecessor piggybacks on the
+// next grant or departure, or finishes its own multicast relay), and
+// without it a gap is a protocol-invariant violation.
 // The same buffering enforces causal admission across writers: an eager
 // notice can outrun the loss of a different writer's notice that its
 // timestamp covers, and admitting it early would advance this
@@ -842,8 +1052,8 @@ func (p *Proc) admitRecord(r *IntervalRec) {
 	if r.Idx < have {
 		return // duplicate
 	}
-	if r.Idx > have || (p.sys.reliable && !p.recCausallyReady(r)) {
-		if !p.sys.reliable {
+	if r.Idx > have || (p.sys.causalAdmit && !p.recCausallyReady(r)) {
+		if !p.sys.causalAdmit {
 			panic(fmt.Sprintf("tmk: proc %d got interval %d/%d with only %d known",
 				p.id, r.Proc, r.Idx, have))
 		}
@@ -856,9 +1066,10 @@ func (p *Proc) admitRecord(r *IntervalRec) {
 		return
 	}
 	p.recs[r.Proc] = append(p.recs[r.Proc], r)
-	if int32(r.Idx+1) > p.vc[r.Proc] {
-		p.vc[r.Proc] = int32(r.Idx + 1)
+	if len(p.recs[r.Proc]) == 1 {
+		p.noteRecProc(r.Proc)
 	}
+	p.vc.SetMax(r.Proc, int32(r.Idx+1))
 	if r.Proc == p.id {
 		return // own writes: page copies are already current
 	}
@@ -909,8 +1120,8 @@ func (p *Proc) drainFuture() {
 // the causal-delivery condition admitRecord buffers on under fault
 // injection.
 func (p *Proc) recCausallyReady(r *IntervalRec) bool {
-	for k, v := range r.VC {
-		if k != r.Proc && p.vc[k] < v {
+	for i, q := range r.VC.ps {
+		if int(q) != r.Proc && p.vc.Get(int(q)) < r.VC.vs[i] {
 			return false
 		}
 	}
@@ -931,19 +1142,42 @@ func (p *Proc) recTouchesBusy(r *IntervalRec) bool {
 	return false
 }
 
+// noteRecProc adds writer q to the sorted active-writer list.  Callers
+// invoke it on the 0→1 transition of len(p.recs[q]), so the list names
+// exactly the writers with records filed locally; recordsNotCoveredBy
+// iterates it instead of all P processors.
+func (p *Proc) noteRecProc(q int) {
+	i := 0
+	for i < len(p.recProcs) && int(p.recProcs[i]) < q {
+		i++
+	}
+	if i < len(p.recProcs) && int(p.recProcs[i]) == q {
+		return
+	}
+	p.recProcs = append(p.recProcs, 0)
+	copy(p.recProcs[i+1:], p.recProcs[i:])
+	p.recProcs[i] = int32(q)
+}
+
 // recordsNotCoveredBy collects every known interval record the given
 // timestamp has not seen, optionally bounded above by limit (records the
-// sender knew by its release).  The records themselves are shared, never
-// copied: they are immutable once published.  The slice is freshly
-// allocated at exact size — it travels inside a message object and lives
-// until the receiver has applied it.
+// sender knew by its release; the zero VC means unbounded).  The records
+// themselves are shared, never copied: they are immutable once
+// published.  The slice is freshly allocated at exact size — it travels
+// inside a message object and lives until the receiver has applied it.
+// Only active writers are scanned, so the cost is independent of the
+// processor count.
 func (p *Proc) recordsNotCoveredBy(from VC, limit VC) []*IntervalRec {
+	bounded := limit.Len() != 0
 	total := 0
-	for q := 0; q < p.sys.n; q++ {
-		lo := int(from[q])
+	for _, q32 := range p.recProcs {
+		q := int(q32)
+		lo := int(from.Get(q))
 		hi := len(p.recs[q])
-		if limit != nil && int(limit[q]) < hi {
-			hi = int(limit[q])
+		if bounded {
+			if l := int(limit.Get(q)); l < hi {
+				hi = l
+			}
 		}
 		if hi > lo {
 			total += hi - lo
@@ -953,11 +1187,14 @@ func (p *Proc) recordsNotCoveredBy(from VC, limit VC) []*IntervalRec {
 		return nil
 	}
 	out := make([]*IntervalRec, 0, total)
-	for q := 0; q < p.sys.n; q++ {
-		lo := int(from[q])
+	for _, q32 := range p.recProcs {
+		q := int(q32)
+		lo := int(from.Get(q))
 		hi := len(p.recs[q])
-		if limit != nil && int(limit[q]) < hi {
-			hi = int(limit[q])
+		if bounded {
+			if l := int(limit.Get(q)); l < hi {
+				hi = l
+			}
 		}
 		for i := lo; i < hi; i++ {
 			out = append(out, p.recs[q][i])
@@ -994,7 +1231,7 @@ func (p *Proc) LockAcquire(id int) {
 	req := &acqMsg{Lock: id, Requester: p.id, VC: p.vc}
 	if p.sys.reliable {
 		req.Seq = p.nextRPC()
-		req.VC = p.vc.Clone()
+		req.VC = p.arena.cloneVC(p.vc)
 	}
 	var resend func()
 	mgr := p.manager(id)
@@ -1050,7 +1287,7 @@ func (p *Proc) LockRelease(id int) {
 		p.sendGrant(p.app, p.ep, id, lk.nextGrant, lk.nextSeq, lk.nextVC, lk.releaseVC)
 		lk.owned = false
 		lk.nextGrant = -1
-		lk.nextVC = nil
+		lk.nextVC = VC{}
 		lk.nextSeq = 0
 	}
 	// Scheduling point so queued protocol work at earlier virtual times
@@ -1081,6 +1318,10 @@ func (p *Proc) sendGrant(ctx *sim.Ctx, from *vnet.Endpoint, lockID, requester, s
 // at barrier id (Tmk_barrier).
 func (p *Proc) Barrier(id int) {
 	p.closeInterval()
+	if p.sys.cfg.TreeBarrier != 0 {
+		p.treeBarrier(id)
+		return
+	}
 	arr := &barrMsg{
 		Barrier: id,
 		From:    p.id,
@@ -1089,17 +1330,17 @@ func (p *Proc) Barrier(id int) {
 		// departure is delivered.  Under faults a duplicate can outlive
 		// the block, so the reliable path clones.
 		VC:      p.vc,
-		Records: p.recordsNotCoveredBy(p.lastMgrVC, nil),
+		Records: p.recordsNotCoveredBy(p.lastMgrVC, VC{}),
 	}
 	if p.sys.reliable {
 		arr.Seq = p.nextRPC()
-		arr.VC = p.vc.Clone()
+		arr.VC = p.arena.cloneVC(p.vc)
 	}
-	mgr := p.sys.procs[0]
+	mgr := p.sys.procs[p.sys.barrierMgr(id)]
 	size := arr.wireSize()
 	p.ep.SendObj(p.app, mgr.srv, tagBarrArrive, arr, size)
 	t0 := p.app.Now()
-	m := p.rpcRecv(p.app, 0, tagBarrDepart, arr.Seq,
+	m := p.rpcRecv(p.app, mgr.id, tagBarrDepart, arr.Seq,
 		func() { p.ep.SendObjRetrans(p.app, mgr.srv, tagBarrArrive, arr, size) },
 		func(o any) int { return o.(*barrMsg).Seq })
 	p.BarrierWait += p.app.Now() - t0
@@ -1113,23 +1354,23 @@ func (p *Proc) Barrier(id int) {
 	p.lastMgrVC = dep.VC.Clone()
 }
 
-// mergeArrivalRecords head-merges the arrivals' record batches into a
-// sorted, deduplicated union.  Each batch must be in (Proc, Idx) order;
-// every head carrying the chosen key advances together, so a record
-// announced by several arrivals appears once.  union and heads are
-// caller-provided scratch (length zero) whose grown backing arrays are
-// returned for reuse.
-func mergeArrivalRecords(arrived []*barrMsg, union []*IntervalRec, heads []int) ([]*IntervalRec, []int) {
-	for range arrived {
+// mergeRecordBatches head-merges record batches into a sorted,
+// deduplicated union.  Each batch must be in (Proc, Idx) order; every
+// head carrying the chosen key advances together, so a record announced
+// by several batches appears once.  union and heads are caller-provided
+// scratch (length zero) whose grown backing arrays are returned for
+// reuse.
+func mergeRecordBatches(batches [][]*IntervalRec, union []*IntervalRec, heads []int) ([]*IntervalRec, []int) {
+	for range batches {
 		heads = append(heads, 0)
 	}
 	for {
 		var best *IntervalRec
-		for i, a := range arrived {
-			if heads[i] == len(a.Records) {
+		for i, b := range batches {
+			if heads[i] == len(b) {
 				continue
 			}
-			r := a.Records[heads[i]]
+			r := b[heads[i]]
 			if best == nil || r.Proc < best.Proc || (r.Proc == best.Proc && r.Idx < best.Idx) {
 				best = r
 			}
@@ -1138,9 +1379,9 @@ func mergeArrivalRecords(arrived []*barrMsg, union []*IntervalRec, heads []int) 
 			return union, heads
 		}
 		union = append(union, best)
-		for i, a := range arrived {
-			if heads[i] < len(a.Records) {
-				if r := a.Records[heads[i]]; r.Proc == best.Proc && r.Idx == best.Idx {
+		for i, b := range batches {
+			if heads[i] < len(b) {
+				if r := b[heads[i]]; r.Proc == best.Proc && r.Idx == best.Idx {
 					heads[i]++
 				}
 			}
@@ -1190,10 +1431,12 @@ func (p *Proc) handleBarrArrive(ctx *sim.Ctx, m *barrMsg) {
 	// their writer and travel by reference) and every head carrying the
 	// chosen key advances together.
 	merged := NewVC(p.sys.n)
+	bs.batches = bs.batches[:0]
 	for _, a := range bs.arrived {
 		merged.Merge(a.VC)
+		bs.batches = append(bs.batches, a.Records)
 	}
-	bs.union, bs.heads = mergeArrivalRecords(bs.arrived, bs.union[:0], bs.heads[:0])
+	bs.union, bs.heads = mergeRecordBatches(bs.batches, bs.union[:0], bs.heads[:0])
 	union := bs.union
 	// Departures: each client gets the union entries it has not seen, in
 	// the union's (Proc, Idx) order.  The slice is counted first and
@@ -1202,7 +1445,7 @@ func (p *Proc) handleBarrArrive(ctx *sim.Ctx, m *barrMsg) {
 	for _, a := range bs.arrived {
 		n := 0
 		for _, r := range union {
-			if int32(r.Idx) >= a.VC[r.Proc] { // client has not seen it
+			if int32(r.Idx) >= a.VC.Get(r.Proc) { // client has not seen it
 				n++
 			}
 		}
@@ -1210,12 +1453,12 @@ func (p *Proc) handleBarrArrive(ctx *sim.Ctx, m *barrMsg) {
 		if n > 0 {
 			out = make([]*IntervalRec, 0, n)
 			for _, r := range union {
-				if int32(r.Idx) >= a.VC[r.Proc] {
+				if int32(r.Idx) >= a.VC.Get(r.Proc) {
 					out = append(out, r)
 				}
 			}
 		}
-		dep := &barrMsg{Barrier: bs.id, From: 0, Seq: a.Seq, VC: merged, Records: out}
+		dep := &barrMsg{Barrier: bs.id, From: p.id, Seq: a.Seq, VC: merged, Records: out}
 		size := dep.wireSize()
 		p.srv.SendObj(ctx, p.sys.procs[a.From].ep, tagBarrDepart, dep, size)
 		if p.sys.reliable && a.Seq > 0 {
@@ -1226,6 +1469,192 @@ func (p *Proc) handleBarrArrive(ctx *sim.Ctx, m *barrMsg) {
 	}
 	bs.arrived = bs.arrived[:0]
 	bs.id = -1
+}
+
+// ---------------------------------------------------------------------
+// Combining-tree barrier (Config.TreeBarrier; the tmk-tree variant).
+//
+// Arrivals aggregate up a radix-k tree rooted at processor 0 and
+// departures fan back down it.  An internal node's application thread
+// sends its own arrival to its own service daemon — a free loopback hop
+// — where it occupies slot 0 of the aggregation state; each child
+// subtree's arrival occupies one further slot.  When all slots fill,
+// the node forwards one merged arrival up (or, at the root, starts
+// redistribution).  Departures reverse the path: each edge carries only
+// the records some member of the target subtree lacks (filtered by the
+// subtree's pointwise-minimum timestamp) minus the records that subtree
+// announced itself, which the child re-adds from its own union before
+// filtering further down.
+
+// treeBarrier is the client side: send the arrival to the aggregation
+// point — this processor's own service daemon if it is an internal
+// node, its parent's otherwise — and block for the departure from the
+// same place.
+func (p *Proc) treeBarrier(id int) {
+	arr := &treeArrMsg{
+		Barrier: id,
+		From:    p.id,
+		// Live shares, like the centralized arrival: this processor
+		// blocks until its departure, and every aggregation step that
+		// reads the vector runs before that departure is sent.  (Tree
+		// mode never runs reliable, so no duplicate outlives the block.)
+		VC:      p.vc,
+		MinVC:   p.vc,
+		Records: p.recordsNotCoveredBy(p.lastMgrVC, VC{}),
+	}
+	dst := p
+	if p.tree == nil {
+		dst = p.sys.procs[(p.id-1)/p.sys.cfg.TreeBarrier]
+	}
+	p.ep.SendObj(p.app, dst.srv, tagTreeArrive, arr, arr.wireSize())
+	t0 := p.app.Now()
+	m := p.ep.Recv(p.app, dst.id, tagTreeDepart)
+	p.BarrierWait += p.app.Now() - t0
+	dep := m.Obj.(*treeDepMsg)
+	p.ep.Free(p.app, m) // departure extracted; recycle the envelope
+	if dep.Barrier != id {
+		panic(fmt.Sprintf("tmk: proc %d got tree departure for barrier %d while in %d",
+			p.id, dep.Barrier, id))
+	}
+	p.applyRecords(dep.Records)
+	p.vc.Merge(dep.VC)
+	p.lastMgrVC = dep.VC.Clone()
+}
+
+// handleTreeArrive files one arrival (own or a child subtree's) and,
+// when the subtree is complete, aggregates: merged max/min timestamps
+// and the deduplicated record union, forwarded up — or redistributed,
+// at the root.
+func (p *Proc) handleTreeArrive(ctx *sim.Ctx, m *treeArrMsg) {
+	ts := p.tree
+	if ts == nil {
+		panic(fmt.Sprintf("tmk: tree arrival at leaf %d", p.id))
+	}
+	slot := 0
+	if m.From != p.id {
+		slot = m.From - p.sys.cfg.TreeBarrier*p.id
+		if slot < 1 || slot >= len(ts.arr) {
+			panic(fmt.Sprintf("tmk: proc %d got tree arrival from non-child %d", p.id, m.From))
+		}
+	}
+	if ts.got == 0 {
+		ts.id = m.Barrier
+	} else if ts.id != m.Barrier {
+		panic(fmt.Sprintf("tmk: tree barrier mismatch: %d vs %d", ts.id, m.Barrier))
+	}
+	if ts.arr[slot] != nil {
+		panic(fmt.Sprintf("tmk: duplicate tree arrival in slot %d at proc %d", slot, p.id))
+	}
+	ts.arr[slot] = m
+	ts.got++
+	if ts.got < len(ts.arr) {
+		return
+	}
+	// Subtree complete.  Aggregate in slot order (deterministic): the
+	// pointwise max feeds the global timestamp, the pointwise min is the
+	// filter bound for departures into this subtree, and the head-merged
+	// union both rides up and — held here — later cancels records the
+	// subtree already announced.
+	agg := NewVC(p.sys.n)
+	min := ts.arr[0].VC.Clone()
+	ts.batches = ts.batches[:0]
+	for _, a := range ts.arr {
+		agg.Merge(a.VC)
+		min.MergeMin(a.MinVC)
+		ts.batches = append(ts.batches, a.Records)
+	}
+	ts.union, ts.heads = mergeRecordBatches(ts.batches, ts.union[:0], ts.heads[:0])
+	if p.id == 0 {
+		p.treeRedistribute(ctx, agg, ts.union)
+		return
+	}
+	up := &treeArrMsg{Barrier: ts.id, From: p.id, VC: agg, MinVC: min, Records: ts.union}
+	parent := p.sys.procs[(p.id-1)/p.sys.cfg.TreeBarrier]
+	p.srv.SendObj(ctx, parent.srv, tagTreeArrive, up, up.wireSize())
+	// State (arrivals, union) stays live: the departure coming back down
+	// needs the per-child filters and the subtree-exclusion set.
+}
+
+// handleTreeDown merges an internal node's held union back into the
+// departure set its parent sent (the parent excluded exactly those
+// records) and redistributes into the subtree.
+func (p *Proc) handleTreeDown(ctx *sim.Ctx, m *treeDepMsg) {
+	ts := p.tree
+	if ts == nil || ts.got != len(ts.arr) || ts.id != m.Barrier {
+		panic(fmt.Sprintf("tmk: proc %d got tree departure in bad state", p.id))
+	}
+	ts.batches = ts.batches[:0]
+	ts.batches = append(ts.batches, m.Records, ts.union)
+	ts.down, ts.heads = mergeRecordBatches(ts.batches, ts.down[:0], ts.heads[:0])
+	p.treeRedistribute(ctx, m.VC, ts.down)
+}
+
+// treeRedistribute sends the departure to every child subtree and to
+// this node's own application thread, then resets the aggregation
+// state.  needed is the set of records any member of this subtree might
+// lack; each edge filters it by the target's minimum timestamp and
+// subtracts what the target announced itself.
+func (p *Proc) treeRedistribute(ctx *sim.Ctx, depVC VC, needed []*IntervalRec) {
+	ts := p.tree
+	k := p.sys.cfg.TreeBarrier
+	for s := 1; s < len(ts.arr); s++ {
+		a := ts.arr[s]
+		c := k*p.id + s
+		dep := &treeDepMsg{Barrier: ts.id, From: p.id, VC: depVC,
+			Records: recordsLacked(needed, a.MinVC, a.Records)}
+		if p.sys.treeKids(c) > 0 {
+			p.srv.SendObj(ctx, p.sys.procs[c].srv, tagTreeDown, dep, dep.wireSize())
+		} else {
+			p.srv.SendObj(ctx, p.sys.procs[c].ep, tagTreeDepart, dep, dep.wireSize())
+		}
+	}
+	self := &treeDepMsg{Barrier: ts.id, From: p.id, VC: depVC,
+		Records: recordsLacked(needed, ts.arr[0].VC, nil)}
+	p.srv.SendObj(ctx, p.ep, tagTreeDepart, self, self.wireSize()) // loopback
+	for i := range ts.arr {
+		ts.arr[i] = nil
+	}
+	ts.got = 0
+	ts.id = -1
+}
+
+// recordsLacked returns the entries of union not covered by vc, minus
+// the records in sub (both union and sub are in (Proc, Idx) order; nil
+// sub skips the subtraction).  Freshly allocated at exact size — the
+// slice travels inside a departure message.
+func recordsLacked(union []*IntervalRec, vc VC, sub []*IntervalRec) []*IntervalRec {
+	count := 0
+	j := 0
+	for _, r := range union {
+		if vc.CoversInterval(r.Proc, r.Idx) {
+			continue
+		}
+		for j < len(sub) && (sub[j].Proc < r.Proc || (sub[j].Proc == r.Proc && sub[j].Idx < r.Idx)) {
+			j++
+		}
+		if j < len(sub) && sub[j].Proc == r.Proc && sub[j].Idx == r.Idx {
+			continue
+		}
+		count++
+	}
+	if count == 0 {
+		return nil
+	}
+	out := make([]*IntervalRec, 0, count)
+	j = 0
+	for _, r := range union {
+		if vc.CoversInterval(r.Proc, r.Idx) {
+			continue
+		}
+		for j < len(sub) && (sub[j].Proc < r.Proc || (sub[j].Proc == r.Proc && sub[j].Idx < r.Idx)) {
+			j++
+		}
+		if j < len(sub) && sub[j].Proc == r.Proc && sub[j].Idx == r.Idx {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
 }
 
 // ---------------------------------------------------------------------
@@ -1273,14 +1702,26 @@ func (p *Proc) serve(ctx *sim.Ctx) {
 		case tagAcqFwd:
 			p.grantOrQueue(ctx, obj.(*acqMsg))
 		case tagBarrArrive:
-			if p.id != 0 {
+			m := obj.(*barrMsg)
+			if p.id != p.sys.barrierMgr(m.Barrier) {
 				panic("tmk: barrier arrival at non-manager")
 			}
-			p.handleBarrArrive(ctx, obj.(*barrMsg))
+			p.handleBarrArrive(ctx, m)
+		case tagTreeArrive:
+			p.handleTreeArrive(ctx, obj.(*treeArrMsg))
+		case tagTreeDown:
+			p.handleTreeDown(ctx, obj.(*treeDepMsg))
 		case tagDiffReq:
 			p.handleDiffReq(ctx, obj.(*diffReqMsg))
 		case tagInval:
-			p.handleInval(obj.(*invMsg))
+			im := obj.(*invMsg)
+			if p.sys.cfg.TreeFanout != 0 {
+				// Multicast relay: forward to this node's children in the
+				// writer-rooted tree before applying locally.
+				p.sendInvalChildren(ctx, p.srv, im,
+					(p.id-im.From+p.sys.n)%p.sys.n)
+			}
+			p.handleInval(im)
 		default:
 			panic(fmt.Sprintf("tmk: service got unexpected tag %d", tag))
 		}
@@ -1627,7 +2068,7 @@ func (p *Proc) applyPending(pid int) {
 				if ri == qi || p.wrPos[ri] == p.wrEnd[ri] {
 					continue
 				}
-				if vc[ri] > idxs[p.wrPos[ri]] {
+				if vc.Get(ri) > idxs[p.wrPos[ri]] {
 					ready = false
 					break
 				}

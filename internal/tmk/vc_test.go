@@ -2,9 +2,30 @@ package tmk
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
+
+// mkVC builds a width-len(vals) vector with the given dense entries —
+// the test-side constructor replacing the dense composite literals.
+func mkVC(vals ...int32) VC {
+	v := NewVC(len(vals))
+	for p, x := range vals {
+		v.SetMax(p, x)
+	}
+	return v
+}
+
+// dense reads v back out as a flat vector, for comparison against the
+// reference implementation.
+func dense(v VC) []int32 {
+	out := make([]int32, v.Len())
+	for p := range out {
+		out[p] = v.Get(p)
+	}
+	return out
+}
 
 func TestVCBasics(t *testing.T) {
 	v := NewVC(3)
@@ -15,30 +36,30 @@ func TestVCBasics(t *testing.T) {
 	if v.Before(w) {
 		t.Fatal("equal vectors are not strictly ordered")
 	}
-	w[1] = 2
+	w.SetMax(1, 2)
 	if !w.Covers(v) || v.Covers(w) {
 		t.Fatal("covers after bump")
 	}
 	if !v.Before(w) || w.Before(v) {
 		t.Fatal("before after bump")
 	}
-	v[0] = 1
+	v.SetMax(0, 1)
 	if !v.Concurrent(w) {
 		t.Fatal("divergent vectors are concurrent")
 	}
 }
 
 func TestVCMerge(t *testing.T) {
-	v := VC{1, 5, 2}
-	w := VC{3, 1, 2}
+	v := mkVC(1, 5, 2)
+	w := mkVC(3, 1, 2)
 	v.Merge(w)
-	if v[0] != 3 || v[1] != 5 || v[2] != 2 {
-		t.Fatalf("merge = %v", v)
+	if v.Get(0) != 3 || v.Get(1) != 5 || v.Get(2) != 2 {
+		t.Fatalf("merge = %v", dense(v))
 	}
 }
 
 func TestVCCoversInterval(t *testing.T) {
-	v := VC{2, 0}
+	v := mkVC(2, 0)
 	if !v.CoversInterval(0, 1) {
 		t.Fatal("should cover interval 1 of proc 0")
 	}
@@ -51,19 +72,47 @@ func TestVCCoversInterval(t *testing.T) {
 }
 
 func TestVCCloneIndependent(t *testing.T) {
-	v := VC{1, 2}
+	v := mkVC(1, 2)
 	c := v.Clone()
-	c[0] = 9
-	if v[0] != 1 {
+	c.SetMax(0, 9)
+	if v.Get(0) != 1 {
 		t.Fatal("clone aliases original")
 	}
 }
 
-// randVC generates small random vectors for property tests.
+// TestVCCanonicalForm pins the representation invariant DeepEqual
+// comparisons rely on: no stored zeros, sorted entries, nil slices
+// when empty — however the vector was built.
+func TestVCCanonicalForm(t *testing.T) {
+	v := NewVC(5)
+	v.SetMax(2, 0) // zero writes must not create entries
+	if v.ps != nil || v.vs != nil {
+		t.Fatalf("zero SetMax stored an entry: %+v", v)
+	}
+	if !reflect.DeepEqual(v, NewVC(5)) {
+		t.Fatal("empty vectors not DeepEqual")
+	}
+	v.SetMax(3, 1)
+	v.SetMax(1, 4)
+	v.SetMax(3, 2)
+	w := mkVC(0, 4, 0, 2, 0)
+	if !reflect.DeepEqual(v, w) {
+		t.Fatalf("insertion order leaked into representation: %+v vs %+v", v, w)
+	}
+	// MergeMin down to empty must return to the canonical nil form.
+	v.MergeMin(NewVC(5))
+	if !reflect.DeepEqual(v, NewVC(5)) {
+		t.Fatalf("MergeMin to empty is not canonical: %+v", v)
+	}
+}
+
+// randVC generates small random vectors for property tests.  Entries
+// are frequently zero, so sparse/dense disagreements on absent entries
+// get exercised hard.
 func randVC(r *rand.Rand, n int) VC {
 	v := NewVC(n)
-	for i := range v {
-		v[i] = int32(r.Intn(4))
+	for p := 0; p < n; p++ {
+		v.SetMax(p, int32(r.Intn(4)))
 	}
 	return v
 }
@@ -111,5 +160,154 @@ func TestVCPartialOrderProperties(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Differential test: the sparse representation against a trivially
+// correct dense reference, over randomized vectors.
+
+type denseVC []int32
+
+func (v denseVC) covers(w denseVC) bool {
+	for i := range v {
+		if v[i] < w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (v denseVC) before(w denseVC) bool {
+	strict := false
+	for i := range v {
+		if v[i] > w[i] {
+			return false
+		}
+		if v[i] < w[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+func (v denseVC) merge(w denseVC) {
+	for i := range v {
+		if w[i] > v[i] {
+			v[i] = w[i]
+		}
+	}
+}
+
+func (v denseVC) mergeMin(w denseVC) {
+	for i := range v {
+		if w[i] < v[i] {
+			v[i] = w[i]
+		}
+	}
+}
+
+// TestVCSparseMatchesDense drives random operation sequences through
+// the sparse VC and the dense reference in lockstep and requires every
+// observable — Get, Covers, CoversInterval, Before, Concurrent, and
+// the vectors produced by Merge/MergeMin — to agree exactly.
+func TestVCSparseMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		mk := func() (VC, denseVC) {
+			s, d := NewVC(n), make(denseVC, n)
+			// Bias toward sparse vectors: most entries stay zero.
+			for k := r.Intn(n + 1); k > 0; k-- {
+				p, x := r.Intn(n), int32(r.Intn(5))
+				s.SetMax(p, x)
+				if x > d[p] {
+					d[p] = x
+				}
+			}
+			return s, d
+		}
+		sa, da := mk()
+		sb, db := mk()
+		for p := 0; p < n; p++ {
+			if sa.Get(p) != da[p] {
+				return false
+			}
+		}
+		if sa.Covers(sb) != da.covers(db) || sb.Covers(sa) != db.covers(da) {
+			return false
+		}
+		if sa.Before(sb) != da.before(db) || sb.Before(sa) != db.before(da) {
+			return false
+		}
+		if sa.Concurrent(sb) != (!da.covers(db) && !db.covers(da)) {
+			return false
+		}
+		p, idx := r.Intn(n), r.Intn(5)
+		if sa.CoversInterval(p, idx) != (da[p] > int32(idx)) {
+			return false
+		}
+		sm, dm := sa.Clone(), append(denseVC(nil), da...)
+		sm.Merge(sb)
+		dm.merge(db)
+		if !reflect.DeepEqual(dense(sm), []int32(dm)) {
+			return false
+		}
+		// Merge must be canonical: equal to building the result directly.
+		if !reflect.DeepEqual(sm, mkVCWidth(n, dm)) {
+			return false
+		}
+		lo, dlo := sa.Clone(), append(denseVC(nil), da...)
+		lo.MergeMin(sb)
+		dlo.mergeMin(db)
+		if !reflect.DeepEqual(dense(lo), []int32(dlo)) {
+			return false
+		}
+		if !reflect.DeepEqual(lo, mkVCWidth(n, dlo)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mkVCWidth builds a width-n vector from dense values.
+func mkVCWidth(n int, vals []int32) VC {
+	v := NewVC(n)
+	for p, x := range vals {
+		v.SetMax(p, x)
+	}
+	return v
+}
+
+// TestVCWideSparse exercises the binary-search path: wide vectors with
+// a handful of scattered writers.
+func TestVCWideSparse(t *testing.T) {
+	const n = 256
+	v := NewVC(n)
+	writers := []int{3, 17, 64, 65, 120, 200, 201, 202, 240, 255}
+	for i, p := range writers {
+		v.SetMax(p, int32(i+1))
+	}
+	for i, p := range writers {
+		if v.Get(p) != int32(i+1) {
+			t.Fatalf("Get(%d) = %d, want %d", p, v.Get(p), i+1)
+		}
+	}
+	if v.Get(0) != 0 || v.Get(100) != 0 || v.Get(254) != 0 {
+		t.Fatal("absent entries must read zero")
+	}
+	if len(v.ps) != len(writers) {
+		t.Fatalf("stored %d entries, want %d", len(v.ps), len(writers))
+	}
+	w := v.Clone()
+	w.SetMax(100, 7)
+	if !w.Covers(v) || v.Covers(w) {
+		t.Fatal("cover after wide insert")
+	}
+	if !v.Before(w) {
+		t.Fatal("before after wide insert")
 	}
 }

@@ -16,6 +16,9 @@ const (
 	tagDiffReq                 // faulting app -> writer's service
 	tagDiffResp                // writer's service -> faulting app
 	tagInval                   // eager mode: writer app -> all other services
+	tagTreeArrive              // tree barrier: subtree arrival -> parent (or own) service
+	tagTreeDown                // tree barrier: aggregated departure -> internal child's service
+	tagTreeDepart              // tree barrier: departure -> client app
 )
 
 // Reliability note: the Seq fields on request/reply messages (at-least-
@@ -38,9 +41,21 @@ func (w *wbuf) i64(v int64) {
 	w.b = binary.LittleEndian.AppendUint64(w.b, uint64(v))
 }
 func (w *wbuf) bytes(p []byte) { w.b = append(w.b, p...) }
+
+// vc writes the dense encoding of a vector timestamp: width, then one
+// u32 per processor.  The in-memory representation is sparse (vc.go),
+// but the wire format deliberately is not — it predates the sparse
+// refactor, and keeping it pins modeled message sizes bit-identical.
+// A sparse *wire* delta encoding is the planned follow-on (ROADMAP).
 func (w *wbuf) vc(v VC) {
-	w.u16(len(v))
-	for _, x := range v {
+	w.u16(v.Len())
+	i := 0
+	for p := 0; p < v.Len(); p++ {
+		x := int32(0)
+		if i < len(v.ps) && v.ps[i] == int32(p) {
+			x = v.vs[i]
+			i++
+		}
 		w.u32(int(x))
 	}
 }
@@ -98,9 +113,12 @@ func (r *rbuf) view(n int) []byte {
 
 func (r *rbuf) vc() VC {
 	n := r.u16()
-	v := make(VC, n)
-	for i := range v {
-		v[i] = int32(r.u32())
+	v := NewVC(n)
+	for p := 0; p < n; p++ {
+		if x := int32(r.u32()); x > 0 {
+			v.ps = append(v.ps, int32(p))
+			v.vs = append(v.vs, x)
+		}
 	}
 	return v
 }
@@ -118,7 +136,7 @@ func (r *rbuf) done() {
 // and pinned against the size functions by TestWireSizeMatchesEncoding —
 // while the hot path never serializes a byte.
 
-func vcSize(v VC) int { return 2 + 4*len(v) }
+func vcSize(v VC) int { return 2 + 4*v.Len() }
 
 func (m *acqMsg) wireSize() int   { return 2 + 2 + vcSize(m.VC) }
 func (m *grantMsg) wireSize() int { return 2 + recordsSize(m.Records) }
@@ -161,7 +179,7 @@ func pageRuns(pages []int) int {
 func recordsSize(recs []*IntervalRec) int {
 	n := 4
 	for _, r := range recs {
-		n += 2 + 4 + (2 + 4*len(r.VC)) + 4 + 8*pageRuns(r.Pages)
+		n += 2 + 4 + vcSize(r.VC) + 4 + 8*pageRuns(r.Pages)
 	}
 	return n
 }
@@ -307,6 +325,76 @@ func (m *invMsg) encode() []byte {
 func decodeInval(b []byte) *invMsg {
 	r := rbuf{b: b}
 	m := &invMsg{From: r.u16()}
+	m.Records = decodeRecords(&r)
+	r.done()
+	return m
+}
+
+// treeArrMsg is a combining-tree barrier arrival: one subtree's
+// aggregated state travelling one edge up the radix-k tree
+// (Config.TreeBarrier).  VC is the pointwise maximum over the
+// subtree's arrival timestamps, MinVC the pointwise minimum — the
+// summary the root's departure filter needs, since a record must ride
+// back down if *any* subtree member lacks it — and Records the
+// deduplicated union of the subtree's write-notice batches.
+type treeArrMsg struct {
+	Barrier int
+	From    int
+	VC      VC
+	MinVC   VC
+	Records []*IntervalRec
+}
+
+func (m *treeArrMsg) wireSize() int {
+	return 2 + 2 + vcSize(m.VC) + vcSize(m.MinVC) + recordsSize(m.Records)
+}
+
+func (m *treeArrMsg) encode() []byte {
+	w := newWbuf(m.wireSize())
+	w.u16(m.Barrier)
+	w.u16(m.From)
+	w.vc(m.VC)
+	w.vc(m.MinVC)
+	encodeRecords(&w, m.Records)
+	return w.b
+}
+
+func decodeTreeArr(b []byte) *treeArrMsg {
+	r := rbuf{b: b}
+	m := &treeArrMsg{Barrier: r.u16(), From: r.u16(), VC: r.vc(), MinVC: r.vc()}
+	m.Records = decodeRecords(&r)
+	r.done()
+	return m
+}
+
+// treeDepMsg is a combining-tree barrier departure: the globally
+// merged timestamp plus the records the receiving subtree (or client)
+// has not seen, travelling one edge down the tree.  The same shape
+// serves both the internal-node hop (tagTreeDown) and the final
+// client delivery (tagTreeDepart).
+type treeDepMsg struct {
+	Barrier int
+	From    int
+	VC      VC
+	Records []*IntervalRec
+}
+
+func (m *treeDepMsg) wireSize() int {
+	return 2 + 2 + vcSize(m.VC) + recordsSize(m.Records)
+}
+
+func (m *treeDepMsg) encode() []byte {
+	w := newWbuf(m.wireSize())
+	w.u16(m.Barrier)
+	w.u16(m.From)
+	w.vc(m.VC)
+	encodeRecords(&w, m.Records)
+	return w.b
+}
+
+func decodeTreeDep(b []byte) *treeDepMsg {
+	r := rbuf{b: b}
+	m := &treeDepMsg{Barrier: r.u16(), From: r.u16(), VC: r.vc()}
 	m.Records = decodeRecords(&r)
 	r.done()
 	return m

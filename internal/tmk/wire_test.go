@@ -7,7 +7,7 @@ import (
 )
 
 func TestAcqMsgRoundTrip(t *testing.T) {
-	m := &acqMsg{Lock: 7, Requester: 3, VC: VC{1, 0, 4}}
+	m := &acqMsg{Lock: 7, Requester: 3, VC: mkVC(1, 0, 4)}
 	got := decodeAcq(m.encode())
 	if !reflect.DeepEqual(m, got) {
 		t.Fatalf("got %+v want %+v", got, m)
@@ -18,8 +18,8 @@ func TestGrantMsgRoundTrip(t *testing.T) {
 	m := &grantMsg{
 		Lock: 2,
 		Records: []*IntervalRec{
-			{Proc: 0, Idx: 3, VC: VC{4, 1}, Pages: []int{7, 9, 11}},
-			{Proc: 1, Idx: 0, VC: VC{0, 1}, Pages: nil},
+			{Proc: 0, Idx: 3, VC: mkVC(4, 1), Pages: []int{7, 9, 11}},
+			{Proc: 1, Idx: 0, VC: mkVC(0, 1), Pages: nil},
 		},
 	}
 	got := decodeGrant(m.encode())
@@ -27,7 +27,7 @@ func TestGrantMsgRoundTrip(t *testing.T) {
 		t.Fatalf("got %+v", got)
 	}
 	r0 := got.Records[0]
-	if r0.Proc != 0 || r0.Idx != 3 || !reflect.DeepEqual(r0.VC, VC{4, 1}) ||
+	if r0.Proc != 0 || r0.Idx != 3 || !reflect.DeepEqual(r0.VC, mkVC(4, 1)) ||
 		!reflect.DeepEqual(r0.Pages, []int{7, 9, 11}) {
 		t.Fatalf("record 0 = %+v", r0)
 	}
@@ -38,11 +38,11 @@ func TestGrantMsgRoundTrip(t *testing.T) {
 
 func TestBarrMsgRoundTrip(t *testing.T) {
 	m := &barrMsg{
-		Barrier: 5, From: 2, VC: VC{9, 8, 7},
-		Records: []*IntervalRec{{Proc: 2, Idx: 8, VC: VC{9, 8, 7}, Pages: []int{1}}},
+		Barrier: 5, From: 2, VC: mkVC(9, 8, 7),
+		Records: []*IntervalRec{{Proc: 2, Idx: 8, VC: mkVC(9, 8, 7), Pages: []int{1}}},
 	}
 	got := decodeBarr(m.encode())
-	if got.Barrier != 5 || got.From != 2 || !reflect.DeepEqual(got.VC, VC{9, 8, 7}) {
+	if got.Barrier != 5 || got.From != 2 || !reflect.DeepEqual(got.VC, mkVC(9, 8, 7)) {
 		t.Fatalf("got %+v", got)
 	}
 	if len(got.Records) != 1 || got.Records[0].Pages[0] != 1 {
@@ -83,9 +83,9 @@ func TestDiffRespMsgRoundTrip(t *testing.T) {
 // message type, or wire accounting would drift from the documented format.
 func TestWireSizeMatchesEncoding(t *testing.T) {
 	recs := []*IntervalRec{
-		{Proc: 0, Idx: 3, VC: VC{4, 1, 0}, Pages: []int{7, 8, 9, 30}},
-		{Proc: 2, Idx: 0, VC: VC{0, 1, 1}, Pages: nil},
-		{Proc: 1, Idx: 7, VC: VC{9, 8, 7}, Pages: []int{0, 2, 4, 6, 8}},
+		{Proc: 0, Idx: 3, VC: mkVC(4, 1, 0), Pages: []int{7, 8, 9, 30}},
+		{Proc: 2, Idx: 0, VC: mkVC(0, 1, 1), Pages: nil},
+		{Proc: 1, Idx: 7, VC: mkVC(9, 8, 7), Pages: []int{0, 2, 4, 6, 8}},
 	}
 	d1 := &Diff{Page: 3, Runs: []Run{{Off: 16, Data: make([]byte, 40)}, {Off: 100, Data: []byte{9}}}}
 	d2 := &Diff{Page: 3}
@@ -94,19 +94,25 @@ func TestWireSizeMatchesEncoding(t *testing.T) {
 		size int
 		enc  []byte
 	}{
-		{"acq", (&acqMsg{Lock: 7, Requester: 3, VC: VC{1, 0, 4}}).wireSize(),
-			(&acqMsg{Lock: 7, Requester: 3, VC: VC{1, 0, 4}}).encode()},
+		{"acq", (&acqMsg{Lock: 7, Requester: 3, VC: mkVC(1, 0, 4)}).wireSize(),
+			(&acqMsg{Lock: 7, Requester: 3, VC: mkVC(1, 0, 4)}).encode()},
 		{"grant-empty", (&grantMsg{Lock: 2}).wireSize(), (&grantMsg{Lock: 2}).encode()},
 		{"grant", (&grantMsg{Lock: 2, Records: recs}).wireSize(),
 			(&grantMsg{Lock: 2, Records: recs}).encode()},
-		{"barr", (&barrMsg{Barrier: 5, From: 2, VC: VC{9, 8, 7}, Records: recs}).wireSize(),
-			(&barrMsg{Barrier: 5, From: 2, VC: VC{9, 8, 7}, Records: recs}).encode()},
+		{"barr", (&barrMsg{Barrier: 5, From: 2, VC: mkVC(9, 8, 7), Records: recs}).wireSize(),
+			(&barrMsg{Barrier: 5, From: 2, VC: mkVC(9, 8, 7), Records: recs}).encode()},
 		{"diffreq", (&diffReqMsg{Page: 42, Requester: 6, Wants: []diffWant{{1, 9}, {3, 0}}}).wireSize(),
 			(&diffReqMsg{Page: 42, Requester: 6, Wants: []diffWant{{1, 9}, {3, 0}}}).encode()},
 		{"diffresp", (&diffRespMsg{Page: 3, Entries: []diffEntry{{Proc: 1, Idx: 2, Diff: d1}, {Proc: 0, Idx: 0, Diff: d2}}}).wireSize(),
 			(&diffRespMsg{Page: 3, Entries: []diffEntry{{Proc: 1, Idx: 2, Diff: d1}, {Proc: 0, Idx: 0, Diff: d2}}}).encode()},
 		{"inval", (&invMsg{From: 2, Records: recs}).wireSize(),
 			(&invMsg{From: 2, Records: recs}).encode()},
+		{"treearr", (&treeArrMsg{Barrier: 4, From: 5, VC: mkVC(9, 8, 7), MinVC: mkVC(1, 0, 2), Records: recs}).wireSize(),
+			(&treeArrMsg{Barrier: 4, From: 5, VC: mkVC(9, 8, 7), MinVC: mkVC(1, 0, 2), Records: recs}).encode()},
+		{"treearr-empty", (&treeArrMsg{Barrier: 1, From: 0, VC: mkVC(0, 0), MinVC: mkVC(0, 0)}).wireSize(),
+			(&treeArrMsg{Barrier: 1, From: 0, VC: mkVC(0, 0), MinVC: mkVC(0, 0)}).encode()},
+		{"treedep", (&treeDepMsg{Barrier: 4, From: 0, VC: mkVC(9, 8, 7), Records: recs}).wireSize(),
+			(&treeDepMsg{Barrier: 4, From: 0, VC: mkVC(9, 8, 7), Records: recs}).encode()},
 	}
 	for _, c := range cases {
 		if c.size != len(c.enc) {
@@ -117,23 +123,53 @@ func TestWireSizeMatchesEncoding(t *testing.T) {
 
 func TestInvalMsgRoundTrip(t *testing.T) {
 	m := &invMsg{From: 3, Records: []*IntervalRec{
-		{Proc: 3, Idx: 11, VC: VC{1, 2, 3, 12}, Pages: []int{5, 6, 7, 20}},
+		{Proc: 3, Idx: 11, VC: mkVC(1, 2, 3, 12), Pages: []int{5, 6, 7, 20}},
 	}}
 	got := decodeInval(m.encode())
 	if got.From != 3 || len(got.Records) != 1 {
 		t.Fatalf("got %+v", got)
 	}
 	r := got.Records[0]
-	if r.Proc != 3 || r.Idx != 11 || !reflect.DeepEqual(r.VC, VC{1, 2, 3, 12}) ||
+	if r.Proc != 3 || r.Idx != 11 || !reflect.DeepEqual(r.VC, mkVC(1, 2, 3, 12)) ||
 		!reflect.DeepEqual(r.Pages, []int{5, 6, 7, 20}) {
 		t.Fatalf("record = %+v", r)
+	}
+}
+
+func TestTreeArrMsgRoundTrip(t *testing.T) {
+	m := &treeArrMsg{
+		Barrier: 6, From: 9, VC: mkVC(4, 0, 7, 1), MinVC: mkVC(2, 0, 0, 1),
+		Records: []*IntervalRec{{Proc: 2, Idx: 6, VC: mkVC(0, 0, 7, 1), Pages: []int{3, 4}}},
+	}
+	got := decodeTreeArr(m.encode())
+	if got.Barrier != 6 || got.From != 9 ||
+		!reflect.DeepEqual(got.VC, m.VC) || !reflect.DeepEqual(got.MinVC, m.MinVC) {
+		t.Fatalf("got %+v", got)
+	}
+	if len(got.Records) != 1 || !reflect.DeepEqual(got.Records[0].VC, m.Records[0].VC) ||
+		!reflect.DeepEqual(got.Records[0].Pages, []int{3, 4}) {
+		t.Fatalf("records = %+v", got.Records)
+	}
+}
+
+func TestTreeDepMsgRoundTrip(t *testing.T) {
+	m := &treeDepMsg{
+		Barrier: 6, From: 0, VC: mkVC(4, 5, 7, 2),
+		Records: []*IntervalRec{{Proc: 1, Idx: 4, VC: mkVC(4, 5), Pages: []int{12}}},
+	}
+	got := decodeTreeDep(m.encode())
+	if got.Barrier != 6 || got.From != 0 || !reflect.DeepEqual(got.VC, m.VC) {
+		t.Fatalf("got %+v", got)
+	}
+	if len(got.Records) != 1 || got.Records[0].Pages[0] != 12 {
+		t.Fatalf("records = %+v", got.Records)
 	}
 }
 
 func TestWireSizeTracksPayload(t *testing.T) {
 	small := (&grantMsg{Lock: 1}).encode()
 	big := (&grantMsg{Lock: 1, Records: []*IntervalRec{
-		{Proc: 0, Idx: 0, VC: VC{1, 0, 0, 0}, Pages: make([]int, 100)},
+		{Proc: 0, Idx: 0, VC: mkVC(1, 0, 0, 0), Pages: make([]int, 100)},
 	}}).encode()
 	if len(big) <= len(small)+300 {
 		t.Fatalf("100-page record should add >=400 bytes: %d vs %d", len(big), len(small))
@@ -146,7 +182,7 @@ func TestDecodeTrailingBytesPanics(t *testing.T) {
 			t.Fatal("expected panic on trailing bytes")
 		}
 	}()
-	b := (&acqMsg{Lock: 1, Requester: 0, VC: VC{0}}).encode()
+	b := (&acqMsg{Lock: 1, Requester: 0, VC: mkVC(0)}).encode()
 	decodeAcq(append(b, 0xFF))
 }
 
@@ -156,7 +192,7 @@ func TestDecodeTruncatedPanics(t *testing.T) {
 			t.Fatal("expected panic on truncation")
 		}
 	}()
-	b := (&acqMsg{Lock: 1, Requester: 0, VC: VC{0, 0}}).encode()
+	b := (&acqMsg{Lock: 1, Requester: 0, VC: mkVC(0, 0)}).encode()
 	decodeAcq(b[:3])
 }
 
@@ -167,7 +203,7 @@ func TestRecordPageRangeCompression(t *testing.T) {
 		pages[i] = 100 + i
 	}
 	big := (&grantMsg{Lock: 1, Records: []*IntervalRec{
-		{Proc: 0, Idx: 0, VC: VC{1, 0}, Pages: pages},
+		{Proc: 0, Idx: 0, VC: mkVC(1, 0), Pages: pages},
 	}}).encode()
 	if len(big) > 80 {
 		t.Fatalf("contiguous 400-page record encodes to %d bytes, want small", len(big))
@@ -178,7 +214,7 @@ func TestRecordPageRangeCompression(t *testing.T) {
 	}
 	scattered := []int{1, 5, 6, 7, 100}
 	b := (&grantMsg{Lock: 1, Records: []*IntervalRec{
-		{Proc: 1, Idx: 2, VC: VC{0, 3}, Pages: scattered},
+		{Proc: 1, Idx: 2, VC: mkVC(0, 3), Pages: scattered},
 	}}).encode()
 	got = decodeGrant(b)
 	for i, pg := range scattered {
