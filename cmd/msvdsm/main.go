@@ -29,6 +29,9 @@
 //	-parsim         run each simulation on the deterministically
 //	                parallel engine (sim.Options{Parallel}); modeled
 //	                results are byte-identical to the serial engine.
+//	-cpuprofile f   write a CPU profile of the whole invocation to f
+//	                (inspect with 'go tool pprof')
+//	-memprofile f   write an allocation profile to f at exit
 //
 // Grid flags (after the grid command):
 //
@@ -50,6 +53,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -63,6 +67,8 @@ func main() {
 	format := flag.String("format", "text", "output format: text, json or csv")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "grid worker pool width (1 = serial)")
 	parsim := flag.Bool("parsim", false, "use the deterministically parallel engine per run")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to `file` at exit")
 	flag.Usage = usage
 	flag.Parse()
 	run := runOpts{workers: *workers, parsim: *parsim}
@@ -76,6 +82,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "msvdsm: unknown format %q (have text, json, csv)\n", *format)
 		os.Exit(2)
 	}
+	stopProfiles, perr := startProfiles(*cpuprofile, *memprofile)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "msvdsm:", perr)
+		os.Exit(1)
+	}
 	apps := harness.Apps(*scale)
 	cmd := strings.ToLower(flag.Arg(0))
 	var err error
@@ -87,6 +98,7 @@ func main() {
 	case "fig", "figure":
 		if flag.NArg() < 2 {
 			fmt.Fprintln(os.Stderr, "msvdsm fig <name>; see 'msvdsm list'")
+			stopProfiles()
 			os.Exit(2)
 		}
 		err = runFigures(apps, []string{flag.Arg(1)}, *procs, *format, run)
@@ -129,12 +141,52 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
 		usage()
+		stopProfiles()
 		os.Exit(2)
 	}
+	stopProfiles()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "msvdsm:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles turns on the requested runtime profiles and returns a
+// stop function that flushes them.  os.Exit skips deferred calls, so
+// every exit path after this point invokes the stop function explicitly
+// before exiting — a truncated CPU profile is unreadable.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "msvdsm:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle the live set so the profile reflects retained memory
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "msvdsm:", err)
+		}
+	}, nil
 }
 
 func usage() {

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkWakeupStorm measures the cost of one notify releasing k
+// waiters at the same virtual instant — the barrier-release shape.  All
+// waiters block on one Stable source; each round the notifier publishes
+// a new round number and notifies, arming every waiter at the same wake
+// time, and the engine must commit the whole batch through the
+// same-instant run queue (one heap pop plus k-1 queue pops) instead of
+// k independent scheduling decisions.  The ns/wake metric is the cost of
+// waking and running one waiter.
+func BenchmarkWakeupStorm(b *testing.B) {
+	for _, k := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("waiters=%d", k), func(b *testing.B) {
+			e := NewEngine()
+			var src Source
+			src.Stable = true // monotone: round only grows, wake time fixed per round
+			var quorum Source
+			round := 0
+			var at Time // wake instant of the current round
+			done := 0   // waiters that have seen the current round
+			rounds := b.N
+			for i := 0; i < k; i++ {
+				e.Spawn(fmt.Sprintf("w%d", i), false, func(c *Ctx) {
+					seen := 0
+					for seen < rounds {
+						c.WaitOn(&src, "round", func() (Time, bool) {
+							if round <= seen {
+								return 0, false
+							}
+							return at, true
+						})
+						seen++
+						done++
+						if done == k {
+							quorum.Notify()
+						}
+					}
+				})
+			}
+			e.Spawn("notifier", false, func(c *Ctx) {
+				for r := 0; r < rounds; r++ {
+					c.Compute(Microsecond)
+					round++
+					at = c.Now()
+					done = 0
+					src.Notify()
+					c.WaitOn(&quorum, "quorum", func() (Time, bool) {
+						if done < k {
+							return 0, false
+						}
+						return at, true
+					})
+				}
+			})
+			runtime.GC()
+			b.ResetTimer()
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/wake")
+		})
+	}
+}

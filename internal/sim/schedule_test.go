@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestSameInstantBatchDrain pins the run-queue commit order at one
+// virtual instant.  Five procs arm at the same time T; the scheduler
+// must pop the smallest id from the heap and drain the rest into the
+// run queue, committing them back-to-back in ascending id order.  The
+// first proc's turn also arms a *smaller*-id proc at the same T (a late
+// same-instant arrival, via Notify): it lands in the heap after the
+// drain, and the head-vs-heap compare must schedule it before the
+// higher-id procs already queued.  Expected order each round:
+// p1 (heap pop), p0 (late arrival beats queued p2), p2..p5 (queue).
+func TestSameInstantBatchDrain(t *testing.T) {
+	const rounds = 3
+	e := NewEngine()
+	var src Source
+	round := 0
+	var at Time
+	var trace []string
+	e.Spawn("p0", false, func(c *Ctx) {
+		for seen := 0; seen < rounds; seen++ {
+			c.WaitOn(&src, "round", func() (Time, bool) {
+				if round <= seen {
+					return 0, false
+				}
+				return at, true
+			})
+			trace = append(trace, fmt.Sprintf("p0@%d", c.Now()))
+		}
+	})
+	for i := 1; i <= 5; i++ {
+		id := i
+		e.Spawn(fmt.Sprintf("p%d", id), false, func(c *Ctx) {
+			for r := 0; r < rounds; r++ {
+				c.Compute(Millisecond)
+				c.Yield() // scheduling point: the batch forms at the new clock
+				if id == 1 {
+					round++
+					at = c.Now()
+					src.Notify()
+				}
+				trace = append(trace, fmt.Sprintf("p%d@%d", id, c.Now()))
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for r := 1; r <= rounds; r++ {
+		now := Time(r) * Millisecond
+		for _, id := range []int{1, 0, 2, 3, 4, 5} {
+			want = append(want, fmt.Sprintf("p%d@%d", id, now))
+		}
+	}
+	if len(trace) != len(want) {
+		t.Fatalf("trace length %d, want %d\ngot %v", len(trace), len(want), trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("commit order diverges at %d: got %q, want %q\ntrace: %v", i, trace[i], want[i], trace)
+		}
+	}
+}
+
+// stableBox is a mailbox whose source declares the Stable contract: the
+// box is single-consumer, deliveries only append, and the head's arrival
+// time never moves — so once the wait condition holds, it keeps holding
+// with the same wake time.  The parallel engine may therefore release
+// the blocked receiver speculatively with its same-time batch; the
+// receiver gates before consuming, and the engine re-verifies the
+// condition when the commit token arrives.
+type stableBox struct {
+	src  Source
+	msgs []Time
+}
+
+func newStableBox() *stableBox {
+	b := &stableBox{}
+	b.src.Stable = true
+	return b
+}
+
+func (b *stableBox) send(c *Ctx, arrival Time) {
+	c.Gate()
+	c.Sync(func() {
+		b.msgs = append(b.msgs, arrival)
+		b.src.Notify()
+	})
+}
+
+func (b *stableBox) recv(c *Ctx) {
+	c.WaitOn(&b.src, "mail", func() (Time, bool) {
+		if len(b.msgs) == 0 {
+			return 0, false
+		}
+		return b.msgs[0], true
+	})
+	// The release may have been speculative: consuming is a shared
+	// mutation, so it waits for the commit token.
+	c.Gate()
+	c.Sync(func() { b.msgs = b.msgs[1:] })
+}
+
+// stableRingTrace is ringTrace with Stable mailboxes and every event on
+// the millisecond grid, so receiver wake times collide with computing
+// procs' arrival times and same-time batches routinely contain
+// stable-condition procs — the widened release path.  The returned
+// trace is the committed send order.
+func stableRingTrace(t *testing.T, parallel bool, procs, rounds int, seed int64) []string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	work := make([][]Time, procs)
+	for i := range work {
+		work[i] = make([]Time, rounds)
+		for r := range work[i] {
+			if i%2 == 0 {
+				work[i][r] = Time(1+r%3) * Millisecond
+			} else {
+				work[i][r] = Time(1+rng.Intn(3)) * Millisecond
+			}
+		}
+	}
+	e := NewEngineOpts(Options{Parallel: parallel})
+	boxes := make([]*stableBox, procs)
+	for i := range boxes {
+		boxes[i] = newStableBox()
+	}
+	var trace []string
+	for i := 0; i < procs; i++ {
+		id := i
+		e.Spawn(fmt.Sprintf("p%d", id), false, func(c *Ctx) {
+			for r := 0; r < rounds; r++ {
+				c.Compute(work[id][r])
+				dst := (id + 1) % procs
+				c.Gate()
+				c.Sync(func() {
+					boxes[dst].msgs = append(boxes[dst].msgs, c.Now()+Millisecond)
+					boxes[dst].src.Notify()
+				})
+				trace = append(trace, fmt.Sprintf("p%d@%d->%d", id, c.Now(), dst))
+				boxes[id].recv(c)
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+// TestStableEarlyReleaseMatchesSerial pins the speculative-release
+// determinism claim: widening parallel batches with provably-stable
+// blocked procs must not change the committed event sequence.  The
+// seeded schedules are adversarial by construction — all wake times and
+// compute arrivals share the millisecond grid, so stable receivers are
+// constantly eligible for early release inside mixed batches.
+func TestStableEarlyReleaseMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		procs := 2 + int(seed)%5
+		serial := stableRingTrace(t, false, procs, 6, seed)
+		par := stableRingTrace(t, true, procs, 6, seed)
+		if len(serial) != len(par) {
+			t.Fatalf("seed %d: trace lengths differ: %d vs %d", seed, len(serial), len(par))
+		}
+		for i := range serial {
+			if serial[i] != par[i] {
+				t.Fatalf("seed %d: traces diverge at %d: %q vs %q\nserial: %v\npar:    %v",
+					seed, i, serial[i], par[i], serial, par)
+			}
+		}
+	}
+}
+
+// TestWaiterIndexSurvivesExit is a regression test for waiter-list
+// maintenance: three procs register on one source, the middle one wakes
+// and exits, and a later notify must still reach both survivors through
+// the index.  A removal bug that drops or strands the wrong waiter
+// shows up as a deadlock; a bug that lets removal perturb commit order
+// shows up in the wake sequence (same-instant wakes stay in id order no
+// matter how the index was compacted).
+func TestWaiterIndexSurvivesExit(t *testing.T) {
+	e := NewEngine()
+	var src Source
+	stage := 0
+	var at Time
+	var woke []string
+	waiter := func(name string, need int) {
+		e.Spawn(name, false, func(c *Ctx) {
+			c.WaitOn(&src, name, func() (Time, bool) {
+				if stage < need {
+					return 0, false
+				}
+				return at, true
+			})
+			woke = append(woke, name)
+		})
+	}
+	waiter("w0", 2)
+	waiter("w1", 1) // middle registrant: wakes first, then exits
+	waiter("w2", 2)
+	e.Spawn("driver", false, func(c *Ctx) {
+		c.Compute(Millisecond)
+		c.Yield()
+		stage, at = 1, c.Now()
+		src.Notify() // wakes only w1
+		c.Compute(Millisecond)
+		c.Yield()
+		stage, at = 2, c.Now()
+		src.Notify() // must reach w0 and w2 despite w1's removal
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"w1", "w0", "w2"}
+	if len(woke) != len(want) {
+		t.Fatalf("woke %v, want %v", woke, want)
+	}
+	for i := range want {
+		if woke[i] != want[i] {
+			t.Fatalf("wake order %v, want %v", woke, want)
+		}
+	}
+}

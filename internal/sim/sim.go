@@ -1,13 +1,13 @@
 // Package sim implements a deterministic discrete-event simulator for a
 // cluster of workstations.
 //
-// Each simulated processor ("proc") runs real Go code in its own goroutine,
-// but the engine enforces strictly sequential execution: exactly one proc
-// runs at a time, and the engine always resumes the resumable proc with the
-// smallest effective virtual time (ties broken by proc id).  Procs advance
-// their virtual clocks explicitly via Compute and block on conditions via
-// Wait/WaitOn.  Because all cross-proc interaction happens through
-// conditions evaluated at scheduling points, runs are bit-for-bit
+// Each simulated processor ("proc") runs real Go code, but the engine
+// enforces strictly sequential execution: exactly one proc runs at a
+// time, and the engine always resumes the resumable proc with the
+// smallest effective virtual time (ties broken by proc id).  Procs
+// advance their virtual clocks explicitly via Compute and block on
+// conditions via Wait/WaitOn.  Because all cross-proc interaction happens
+// through conditions evaluated at scheduling points, runs are bit-for-bit
 // reproducible: message counts, byte counts and virtual times are exact.
 //
 // # Scheduling architecture
@@ -22,14 +22,29 @@
 // armed waiters of that source.  Pure time-based waits (Yield) go straight
 // into the heap.  Conditions passed to plain Wait, with no Source, fall
 // back to being re-polled at every scheduling step; that legacy path is
-// O(waiters) per step and is kept for tests and ad-hoc conditions.
+// O(waiters) per step, is kept for tests and ad-hoc conditions only, and
+// is counted by PolledWaits so tests can prove hot paths never take it.
 //
-// Scheduling decisions execute inline in the yielding proc's goroutine:
-// when a proc blocks or finishes it pops the next proc from the heap and
-// hands control to it directly, so a scheduling step costs one goroutine
-// switch (zero when the yielding proc is itself still the minimum).  There
-// is no separate scheduler goroutine in steady state; Run merely starts
-// the first proc and waits for termination.
+// In the serial engine every proc body runs inside a coroutine
+// (iter.Pull) and Run's goroutine is the driver.  A blocking proc makes
+// the scheduling decision inline in its own stack frame: if it is itself
+// still the minimum it just continues — zero switches — and otherwise it
+// records the chosen successor and suspends, after which the driver
+// resumes the successor's coroutine directly.  A scheduling hop therefore
+// costs two user-space coroutine switches and no channel operations,
+// never waking the Go runtime scheduler.
+//
+// On top of the heap sits a same-instant run queue: when the popped heap
+// minimum leaves further procs runnable at the same virtual time, the
+// scheduler drains them — in id order, exactly the serial order — into a
+// local run list and feeds subsequent steps from the list head, falling
+// back to the heap only when virtual time must advance or a smaller-id
+// proc arms at the same instant (each pop compares the list head against
+// the heap minimum, so late arrivals keep their serial position).  Only
+// procs whose wake-up cannot be withdrawn are drained: pure time waits
+// (cond == nil) and conditions registered on a Source marked Stable.  The
+// run queue makes a k-waiter wakeup storm k back-to-back steps instead of
+// k heap pops, and it is the serial twin of the parallel engine's batch.
 //
 // # Determinism invariant
 //
@@ -41,6 +56,30 @@
 // event-indexed fast path this requires the Notify discipline: a blocked
 // proc's condition outcome may only change when its Source is notified,
 // and an armed proc's wake time may only move earlier, never later.
+//
+// # Stable sources and early commit
+//
+// A Source may be marked Stable, which asserts a one-way contract for
+// every condition registered against it: once the condition reports ok
+// with wake time w, every later evaluation — up to the moment the waiter
+// resumes at its scheduled turn — still reports ok with a wake time
+// w' <= w, and w' never drops below the virtual time at which the engine
+// committed the wake-up.  Single-consumer queues satisfy this contract:
+// only the blocked owner can consume the state that satisfied the
+// condition, and other procs' mutations only add wake-ups (the vnet
+// endpoint inbox is the canonical case).
+//
+// The engine exploits stability twice.  The serial run queue commits
+// same-instant stable wake-ups in advance (above), and the parallel
+// engine releases stable condition-blocked procs speculatively at
+// batch-formation time instead of waiting for their serial turn.  Both
+// re-verify the condition at the proc's serial turn — in the serial
+// engine when the run-queue entry is popped, in the parallel engine at
+// the commit-token grant, in either case before the proc performs any
+// observable effect — and panic if the condition was withdrawn or its
+// wake time moved past the committed key.  A source wrongly marked
+// Stable therefore fails loudly instead of silently reordering steps;
+// no rollback is ever needed because verification precedes effects.
 //
 // # Deterministic parallelism (Options.Parallel)
 //
@@ -64,6 +103,11 @@
 //     Everything a proc does before its first shared operation must
 //     touch only proc-private or immutable state, so it commutes with
 //     the other batch members and may run speculatively.
+//   - Procs released while condition-blocked (Stable sources only) have
+//     their condition re-verified at the token grant, before the gate
+//     returns — see "Stable sources" above.  A proc resuming from a
+//     stable wait must Gate before its first observable effect; the
+//     vnet receive path does so immediately on waking.
 //   - Procs spawned with the same group id (SpawnGroup) share mutable
 //     state outside the gated operations — e.g. a DSM processor's
 //     application thread and its service daemon share the page table —
@@ -90,9 +134,11 @@ package sim
 
 import (
 	"fmt"
+	"iter"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Time is virtual time in nanoseconds.
@@ -120,6 +166,7 @@ const (
 	stateNew procState = iota
 	stateReady
 	stateRunning
+	stateQueued // committed to the serial run queue, not yet resumed
 	stateBlocked
 	stateDone
 )
@@ -132,6 +179,8 @@ func (s procState) String() string {
 		return "ready"
 	case stateRunning:
 		return "running"
+	case stateQueued:
+		return "queued"
 	case stateBlocked:
 		return "blocked"
 	case stateDone:
@@ -153,6 +202,18 @@ type Cond func() (wake Time, ok bool)
 // ready to use.
 type Source struct {
 	waiters []*proc
+
+	// Stable asserts the one-way condition contract described in the
+	// package comment ("Stable sources and early commit"): once a
+	// condition registered on this source reports ok with wake time w,
+	// later evaluations keep reporting ok with wake times <= w until the
+	// waiter resumes.  Single-consumer state (only the blocked owner can
+	// consume what satisfied the condition) is the canonical qualifying
+	// shape.  The engine commits stable wake-ups early — same-instant
+	// run-queue drain in serial mode, speculative batch release in
+	// parallel mode — re-verifying the condition at the proc's serial
+	// turn and panicking if the contract was broken.
+	Stable bool
 }
 
 func (s *Source) add(p *proc) {
@@ -186,6 +247,18 @@ func (s *Source) Notify() {
 // can use it to turn concurrent-waiter misuse into an immediate error.
 func (s *Source) HasWaiter() bool { return len(s.waiters) > 0 }
 
+// polledWaits counts block registrations that fell back to the legacy
+// source-less path (plain Wait): conditions with no Source are re-polled
+// at every scheduling step, O(waiters) per step.  The production stack
+// must never take this path; harness tests assert the counter stays flat
+// across the full golden grid.
+var polledWaits atomic.Int64
+
+// PolledWaits returns the process-wide count of source-less Wait
+// registrations (the per-step re-polled legacy path).  Tests use deltas
+// of this counter to prove hot paths are fully event-indexed.
+func PolledWaits() int64 { return polledWaits.Load() }
+
 type proc struct {
 	id     int
 	name   string
@@ -197,15 +270,32 @@ type proc struct {
 	what   string        // human-readable reason for the block
 	whatFn func() string // lazy variant of what (takes precedence in dumps)
 	src    *Source       // source the proc is parked on, if any
+	stable bool          // parked on a Stable source (early commit allowed)
 	key    Time          // effective resume time while armed in the heap
 	hidx   int           // heap index; -1 when not armed
 	widx   int           // index in src.waiters; -1 when absent
 	pidx   int           // index in eng.polled; -1 when absent
 	ridx   int           // index in eng.released; -1 when absent (parallel)
-	resume chan Time     // scheduler -> proc: new clock value
-	body   func(*Ctx)
-	eng    *Engine
-	err    error // panic captured from the proc body
+
+	// Serial engine: the proc body runs inside an iter.Pull coroutine.
+	// next resumes it, yield suspends it (false: engine shut down), stop
+	// unwinds it.  All three are driven from Run's goroutine only.
+	next  func() (struct{}, bool)
+	stop  func()
+	yield func(struct{}) bool
+
+	// Parallel engine: scheduler -> proc clock handoff; the proc runs on
+	// its own goroutine and parks on this channel between steps.
+	resume chan Time
+
+	// specCond holds, between a parallel-mode release and the commit-token
+	// grant, the condition the proc was blocked on when released early:
+	// advanceLocked re-verifies it at the grant (see Stable sources).
+	specCond Cond
+
+	body func(*Ctx)
+	eng  *Engine
+	err  error // panic captured from the proc body
 }
 
 // Options selects engine behavior; the zero value is the serial engine.
@@ -231,6 +321,15 @@ type Engine struct {
 	runDone  chan struct{}
 	started  bool
 
+	// Serial engine: same-instant run queue and driver handoff.  runq
+	// holds procs committed to run back-to-back at the current instant
+	// (id order); handP/handT carry the successor chosen by a yielding
+	// proc to the driver (handP == nil reports a deadlock).
+	runq     []*proc
+	runqHead int
+	handP    *proc
+	handT    Time
+
 	// Parallel mode (Options.Parallel).  mu protects every scheduling
 	// structure above plus the fields below; turn is broadcast when the
 	// commit token moves, quiet when a released goroutine parks.
@@ -243,6 +342,10 @@ type Engine struct {
 	holder   *proc   // commit-token holder: the serial-minimal released proc
 	stopped  bool    // run over: released procs must unwind
 	liveRun  int     // goroutines currently executing a released step
+
+	// Scratch buffers for eagerLocked (avoid per-decision allocation).
+	eagerCands []*proc
+	eagerHeld  []int
 }
 
 // NewEngine returns an empty serial engine.  All procs must be spawned
@@ -288,9 +391,11 @@ func (e *Engine) SpawnGroup(name string, daemon bool, group int, body func(*Ctx)
 		widx:   -1,
 		pidx:   -1,
 		ridx:   -1,
-		resume: make(chan Time, 1),
 		body:   body,
 		eng:    e,
+	}
+	if e.par {
+		p.resume = make(chan Time, 1)
 	}
 	e.procs = append(e.procs, p)
 }
@@ -314,40 +419,114 @@ func (e *Engine) Run() error {
 		return fmt.Errorf("sim: engine already ran")
 	}
 	e.started = true
+	if e.par {
+		return e.runParallel()
+	}
+	return e.runSerial()
+}
+
+// ---------------------------------------------------------------------
+// Serial engine: coroutine driver.
+//
+// Run's goroutine drives every proc coroutine.  The yielding proc makes
+// the scheduling decision inline (waitOn), so the driver's loop only
+// transfers control: set the successor's clock, resume its coroutine,
+// repeat.  Proc exit and deadlock detection happen here because the
+// departing coroutine cannot resume anyone itself.
+
+func (e *Engine) runSerial() error {
 	for _, p := range e.procs {
 		p.state = stateReady
 		e.arm(p, p.clock)
 		if !p.daemon {
 			e.primLeft++
 		}
-		go p.loop()
+		p.start()
 	}
-	if e.primLeft == 0 {
-		e.drain()
-		return nil
+	if e.primLeft > 0 {
+		e.driveSerial()
 	}
-	if e.par {
-		e.mu.Lock()
-		e.advanceLocked()
-		e.mu.Unlock()
-		<-e.runDone
-		// Quiesce: speculatively running procs unwind at their next gate
-		// or block; only then is engine and application state safe to read.
-		e.mu.Lock()
-		e.stopped = true
-		e.turn.Broadcast()
-		for e.liveRun > 0 {
-			e.quiet.Wait()
-		}
-		e.mu.Unlock()
-		e.drain()
-		return e.runErr
-	}
-	next, t := e.schedule()
-	e.handoff(next, t)
-	<-e.runDone
-	e.drain()
+	e.stopAll()
 	return e.runErr
+}
+
+// driveSerial is the serial driver loop: transfer control to the chosen
+// proc's coroutine, read back the successor it picked, repeat.  A panic
+// propagating out of a coroutine (a real body panic, or a stable-contract
+// violation raised at a scheduling point) is recovered once here — not
+// per step — recorded against the proc being driven, and ends the run.
+func (e *Engine) driveSerial() {
+	var cur *proc
+	defer func() {
+		if r := recover(); r != nil {
+			cur.err = fmt.Errorf("sim: proc %q panicked: %v", cur.name, r)
+			cur.state = stateDone
+			if e.runErr == nil {
+				e.runErr = cur.err
+			}
+		}
+	}()
+	next, t := e.schedule()
+	for next != nil {
+		cur = next
+		cur.clock = t
+		_, ok := cur.next()
+		if ok {
+			// cur suspended at a block; it already chose the successor.
+			next, t = e.handP, e.handT
+			if next == nil {
+				e.runErr = fmt.Errorf("sim: deadlock\n%s", e.dump())
+				return
+			}
+			continue
+		}
+		// cur's body returned.
+		cur.state = stateDone
+		if !cur.daemon {
+			e.primLeft--
+			if e.primLeft == 0 {
+				return
+			}
+		}
+		next, t = e.schedule()
+		if next == nil {
+			e.runErr = fmt.Errorf("sim: deadlock\n%s", e.dump())
+			return
+		}
+	}
+}
+
+// start wraps p's body in a coroutine.  The wrapper swallows the
+// abandoned{} unwind signal (engine shutdown) and lets real panics
+// propagate out of next into resumeSerial's recover.
+func (p *proc) start() {
+	p.next, p.stop = iter.Pull(func(yield func(struct{}) bool) {
+		p.yield = yield
+		defer func() {
+			if r := recover(); r != nil && !IsAbandoned(r) {
+				panic(r)
+			}
+		}()
+		p.body(&Ctx{p: p})
+	})
+}
+
+// stopAll unwinds every live coroutine once the run is over.  Suspended
+// procs observe yield() == false and panic(abandoned{}), which their
+// wrapper swallows; never-started bodies simply never run.  Panics thrown
+// by user defers during the unwind are discarded — the run's outcome is
+// already decided.
+func (e *Engine) stopAll() {
+	for _, p := range e.procs {
+		if p.state == stateDone || p.stop == nil {
+			continue
+		}
+		p.state = stateDone
+		func() {
+			defer func() { recover() }()
+			p.stop()
+		}()
+	}
 }
 
 // ---------------------------------------------------------------------
@@ -357,9 +536,9 @@ func (e *Engine) Run() error {
 // scheduler's pick — the minimum (key, id) over everything armed — but
 // over two populations: released procs still running their step (all at
 // the batch time) and the heap.  The pick becomes the commit-token
-// holder; armed heap procs at the batch time with no blocking condition
-// are additionally released speculatively, since nothing can disarm them
-// and their pre-gate execution touches only private state.
+// holder; armed heap procs at the batch time whose wake-up cannot be
+// withdrawn (no condition, or a condition on a Stable source) are
+// additionally released speculatively.
 
 // less orders procs by (key, id), the serial scheduling order.
 func (e *Engine) less(a, b *proc) bool {
@@ -401,6 +580,16 @@ func (e *Engine) advanceLocked() {
 			return
 		}
 		if pick == cand {
+			if cand.specCond != nil {
+				// The proc was released while condition-blocked (stable
+				// source) and now reaches its serial turn: re-verify the
+				// condition before it can commit any observable effect.
+				if wake, ok := cand.specCond(); !ok || wake > cand.key {
+					panic(fmt.Sprintf("sim: stable condition withdrawn on %q (ok=%v wake=%v key=%v)",
+						cand.name, ok, wake, cand.key))
+				}
+				cand.specCond = nil
+			}
 			e.holder = cand
 			e.turn.Broadcast()
 			e.eagerLocked()
@@ -423,25 +612,60 @@ func (e *Engine) advanceLocked() {
 			// nothing — a shared operation would have made it the pick.
 			return
 		}
-		e.releaseLocked(pick)
+		e.releaseLocked(pick, false)
 		// Loop: the released pick is now the minimal candidate.
 	}
 }
 
-// eagerLocked speculatively releases every armed heap proc at the batch
-// time that has no blocking condition (nothing can disarm it or move its
-// wake time) and no released group-mate.  Caller holds mu.
+// eagerLocked widens the speculative batch: it releases, in serial (id)
+// order, every armed heap proc at the batch time whose wake-up cannot be
+// withdrawn — no blocking condition, or a condition on a Stable source —
+// skipping procs whose group already has a released member or an
+// unreleased serial-earlier member at the batch time.  The id order
+// matters: releasing a later group member ahead of an earlier armed mate
+// would let the late proc park at its gate while group exclusion keeps
+// the serial-earlier mate from ever being released — a deadlock the
+// serial order cannot produce.  Caller holds mu.
 func (e *Engine) eagerLocked() {
-	for again := true; again; {
-		again = false
-		for _, q := range e.heap {
-			if q.key == e.batchT && q.cond == nil && !e.groupBusyLocked(q) {
-				e.releaseLocked(q)
-				again = true // heap order changed; rescan
-				break
-			}
+	cands := e.eagerCands[:0]
+	for _, q := range e.heap {
+		if q.key == e.batchT {
+			cands = append(cands, q)
 		}
 	}
+	if len(cands) > 0 {
+		// Insertion sort by id: candidate sets are small and almost sorted.
+		for i := 1; i < len(cands); i++ {
+			q := cands[i]
+			j := i - 1
+			for j >= 0 && cands[j].id > q.id {
+				cands[j+1] = cands[j]
+				j--
+			}
+			cands[j+1] = q
+		}
+		held := e.eagerHeld[:0]
+		for _, q := range cands {
+			ok := q.cond == nil || q.stable
+			if ok && q.group >= 0 {
+				for _, g := range held {
+					if g == q.group {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok && !e.groupBusyLocked(q) {
+				e.releaseLocked(q, true)
+				continue
+			}
+			if q.group >= 0 {
+				held = append(held, q.group)
+			}
+		}
+		e.eagerHeld = held[:0]
+	}
+	e.eagerCands = cands[:0]
 }
 
 // groupBusyLocked reports whether a released proc shares p's group.
@@ -458,8 +682,13 @@ func (e *Engine) groupBusyLocked(p *proc) bool {
 }
 
 // releaseLocked detaches an armed proc and starts its step on its own
-// goroutine.  Caller holds mu; p must be armed at the batch time.
-func (e *Engine) releaseLocked(p *proc) {
+// goroutine.  Caller holds mu; p must be armed at the batch time.  For a
+// speculative release (ahead of the proc's serial turn, stable sources
+// only) a condition is kept in specCond for re-verification at the token
+// grant; a release at the serial turn must NOT keep it — the proc starts
+// running immediately and may mutate the state its condition reads, so a
+// later evaluation would race (and the armed key was already current).
+func (e *Engine) releaseLocked(p *proc, speculative bool) {
 	if p.key != e.batchT {
 		panic(fmt.Sprintf("sim: releasing %q at %v off batch time %v", p.name, p.key, e.batchT))
 	}
@@ -478,7 +707,13 @@ func (e *Engine) releaseLocked(p *proc) {
 	if p.pidx >= 0 {
 		e.polledRemove(p)
 	}
+	if speculative {
+		p.specCond = p.cond
+	} else {
+		p.specCond = nil
+	}
 	p.cond, p.what, p.whatFn = nil, "", nil
+	p.stable = false
 	p.state = stateRunning
 	p.ridx = len(e.released)
 	e.released = append(e.released, p)
@@ -555,6 +790,7 @@ func (e *Engine) parWait(p *proc, src *Source, what string, whatFn func() string
 		} else {
 			p.src = src
 			if src != nil {
+				p.stable = src.Stable
 				src.add(p)
 			} else {
 				e.polledAdd(p)
@@ -629,6 +865,36 @@ func (p *proc) parExit(r any) {
 	}
 	e.advanceLocked()
 	e.quiet.Broadcast()
+}
+
+func (e *Engine) runParallel() error {
+	for _, p := range e.procs {
+		p.state = stateReady
+		e.arm(p, p.clock)
+		if !p.daemon {
+			e.primLeft++
+		}
+		go p.loop()
+	}
+	if e.primLeft == 0 {
+		e.drain()
+		return nil
+	}
+	e.mu.Lock()
+	e.advanceLocked()
+	e.mu.Unlock()
+	<-e.runDone
+	// Quiesce: speculatively running procs unwind at their next gate
+	// or block; only then is engine and application state safe to read.
+	e.mu.Lock()
+	e.stopped = true
+	e.turn.Broadcast()
+	for e.liveRun > 0 {
+		e.quiet.Wait()
+	}
+	e.mu.Unlock()
+	e.drain()
+	return e.runErr
 }
 
 // ---------------------------------------------------------------------
@@ -729,13 +995,42 @@ func (e *Engine) repoll(p *proc) {
 	e.arm(p, key)
 }
 
-// schedule picks the next proc to run: the heap minimum after re-polling
-// the legacy source-less waiters.  It detaches the chosen proc from every
-// wait structure and marks it running.  Returns (nil, 0) when nothing can
-// make progress.
+// schedule picks the next proc to run in serial order: the head of the
+// same-instant run queue, unless the heap minimum precedes it (a proc may
+// arm at the current instant with a smaller id after the queue was
+// drained).  Popping the heap when further procs are runnable at the same
+// instant drains them into the run queue — id order, the serial order —
+// so a k-waiter wakeup costs one heap pop plus k-1 queue pops.  The
+// chosen proc is detached from every wait structure and marked running.
+// Returns (nil, 0) when nothing can make progress.
 func (e *Engine) schedule() (*proc, Time) {
-	for _, p := range e.polled {
-		e.repoll(p)
+	if len(e.polled) > 0 {
+		for _, p := range e.polled {
+			e.repoll(p)
+		}
+	}
+	if e.runqHead < len(e.runq) {
+		q := e.runq[e.runqHead]
+		if len(e.heap) == 0 || !e.heapLess(e.heap[0], q) {
+			e.runq[e.runqHead] = nil
+			e.runqHead++
+			if e.runqHead == len(e.runq) {
+				e.runq = e.runq[:0]
+				e.runqHead = 0
+			}
+			if q.cond != nil {
+				// Early-committed stable wake-up: re-verify at the turn,
+				// before the proc resumes (see Stable sources).
+				if wake, ok := q.cond(); !ok || wake > q.key {
+					panic(fmt.Sprintf("sim: stable condition withdrawn on %q (ok=%v wake=%v key=%v)",
+						q.name, ok, wake, q.key))
+				}
+			}
+			q.cond, q.what, q.whatFn = nil, "", nil
+			q.stable = false
+			q.state = stateRunning
+			return q, q.key
+		}
 	}
 	if len(e.heap) == 0 {
 		return nil, 0
@@ -752,11 +1047,35 @@ func (e *Engine) schedule() (*proc, Time) {
 	p.cond = nil
 	p.what = ""
 	p.whatFn = nil
+	p.stable = false
 	p.state = stateRunning
+	// Same-instant batch drain: commit the runnable procs behind p at the
+	// same virtual time to the run queue.  Only when the queue is empty —
+	// appending behind older entries could break id order — and only
+	// procs whose wake-up cannot be withdrawn (no condition, or stable).
+	if e.runqHead == len(e.runq) && len(e.heap) > 0 && e.heap[0].key == p.key {
+		for len(e.heap) > 0 {
+			q := e.heap[0]
+			if q.key != p.key || (q.cond != nil && !q.stable) {
+				break
+			}
+			e.heapRemove(q)
+			if q.src != nil {
+				q.src.remove(q)
+				q.src = nil
+			}
+			if q.pidx >= 0 {
+				e.polledRemove(q)
+			}
+			q.state = stateQueued
+			e.runq = append(e.runq, q)
+		}
+	}
 	return p, p.key
 }
 
 func (e *Engine) polledAdd(p *proc) {
+	polledWaits.Add(1)
 	p.pidx = len(e.polled)
 	e.polled = append(e.polled, p)
 }
@@ -771,28 +1090,8 @@ func (e *Engine) polledRemove(p *proc) {
 	p.pidx = -1
 }
 
-// handoff transfers control to p at clock t.  The resume channel is
-// buffered, so the caller proceeds straight to its own park (or exit)
-// without waiting for p to wake: one goroutine switch per step.
-func (e *Engine) handoff(p *proc, t Time) {
-	p.resume <- t
-}
-
-// finish signals Run that the simulation is over.  Called exactly once
-// per run, by whichever proc observes completion, deadlock or a panic.
-func (e *Engine) finish(err error) {
-	if e.finished {
-		return
-	}
-	e.finished = true
-	if e.runErr == nil {
-		e.runErr = err
-	}
-	e.runDone <- struct{}{}
-}
-
-// drain abandons all blocked/ready procs so their goroutines exit.  Called
-// once the run is over; abandoned procs never resume.
+// drain abandons all blocked/ready procs so their goroutines exit
+// (parallel mode; the serial engine unwinds coroutines via stopAll).
 func (e *Engine) drain() {
 	for _, p := range e.procs {
 		if p.state == stateReady || p.state == stateBlocked {
@@ -837,6 +1136,7 @@ func (e *Engine) MaxPrimaryClock() Time {
 	return max
 }
 
+// loop is a proc's goroutine in parallel mode.
 func (p *proc) loop() {
 	t, ok := <-p.resume
 	if !ok {
@@ -844,48 +1144,25 @@ func (p *proc) loop() {
 	}
 	p.clock = t
 	defer p.exit()
-	p.body(&Ctx{p: p})
+	p.body(&Ctx{p: p, par: true})
 }
 
-// exit runs when a proc body returns or panics: it records the outcome
-// and performs the final scheduling step on the departing goroutine.
+// exit runs when a parallel-mode proc body returns or panics: it records
+// the outcome and commits the exit in serial order.
 func (p *proc) exit() {
-	e := p.eng
 	r := recover()
 	if r != nil && IsAbandoned(r) {
 		// The engine shut this proc down after the run ended (or
 		// after another proc failed); exit without reporting.
 		return
 	}
-	if e.par {
-		p.parExit(r)
-		return
-	}
-	if r != nil {
-		p.err = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
-		p.state = stateDone
-		e.finish(p.err)
-		return
-	}
-	p.state = stateDone
-	if !p.daemon {
-		e.primLeft--
-		if e.primLeft == 0 {
-			e.finish(nil)
-			return
-		}
-	}
-	next, t := e.schedule()
-	if next == nil {
-		e.finish(fmt.Errorf("sim: deadlock\n%s", e.dump()))
-		return
-	}
-	e.handoff(next, t)
+	p.parExit(r)
 }
 
 // Ctx is the handle a proc body uses to interact with virtual time.
 type Ctx struct {
-	p *proc
+	p   *proc
+	par bool // cached Engine.par: keeps Gate/Sync branch-only in serial mode
 }
 
 // ID returns the proc's engine-wide id (spawn order).
@@ -909,7 +1186,8 @@ func (c *Ctx) Compute(d Time) {
 // max(clock, wake).  what describes the blockage for deadlock dumps.
 //
 // A plain Wait has no wake source, so its condition is re-polled at every
-// scheduling step.  Hot paths should use WaitOn with a Source instead.
+// scheduling step.  Hot paths must use WaitOn with a Source instead; the
+// PolledWaits counter exposes how often this fallback is taken.
 func (c *Ctx) Wait(what string, cond Cond) {
 	c.waitOn(nil, what, nil, cond)
 }
@@ -932,7 +1210,7 @@ func (c *Ctx) WaitOnLazy(src *Source, whatFn func() string, cond Cond) {
 func (c *Ctx) waitOn(src *Source, what string, whatFn func() string, cond Cond) {
 	p := c.p
 	e := p.eng
-	if e.par {
+	if c.par {
 		e.parWait(p, src, what, whatFn, cond)
 		return
 	}
@@ -946,6 +1224,7 @@ func (c *Ctx) waitOn(src *Source, what string, whatFn func() string, cond Cond) 
 	} else {
 		p.src = src
 		if src != nil {
+			p.stable = src.Stable
 			src.add(p)
 		} else {
 			e.polledAdd(p)
@@ -961,22 +1240,19 @@ func (c *Ctx) waitOn(src *Source, what string, whatFn func() string, cond Cond) 
 	next, t := e.schedule()
 	if next == p {
 		// Fast path: this proc is still the minimum and its condition
-		// holds — continue inline with zero goroutine switches.
+		// holds — continue inline with zero coroutine switches.
 		p.clock = t
 		return
 	}
-	if next == nil {
-		e.finish(fmt.Errorf("sim: deadlock\n%s", e.dump()))
-	} else {
-		e.handoff(next, t)
-	}
-	t, ok := <-p.resume
-	if !ok {
+	// Hand the decision to the driver and suspend this coroutine; the
+	// driver resumes next (or reports the deadlock when next is nil).
+	e.handP, e.handT = next, t
+	if !p.yield(struct{}{}) {
 		// Engine abandoned the run (e.g. another proc panicked or all
 		// primaries finished while this daemon was blocked).  Unwind.
 		panic(abandoned{})
 	}
-	p.clock = t
+	// The driver set p.clock before resuming.
 }
 
 // Yield gives the engine a scheduling point without blocking: procs with
@@ -994,7 +1270,7 @@ func (c *Ctx) Yield() {
 // non-blocking receives and probes; code that mutates other cross-proc
 // state mid-step must gate likewise.
 func (c *Ctx) Gate() {
-	if c.p.eng.par {
+	if c.par {
 		c.p.eng.gate(c.p)
 	}
 }
@@ -1008,14 +1284,31 @@ func (c *Ctx) Gate() {
 // In serial mode Sync just calls fn.  Notify must only be called inside
 // Sync when the engine is parallel.
 func (c *Ctx) Sync(fn func()) {
-	e := c.p.eng
-	if !e.par {
+	if !c.par {
 		fn()
 		return
 	}
+	e := c.p.eng
 	e.mu.Lock()
 	fn()
 	e.mu.Unlock()
+}
+
+// SyncLock and SyncUnlock bracket a Sync region without the closure:
+// hot paths that would otherwise allocate a capture per call (the vnet
+// delivery path) use the pair directly.  The contract is identical to
+// Sync; the region must not block or re-enter the scheduler.
+func (c *Ctx) SyncLock() {
+	if c.par {
+		c.p.eng.mu.Lock()
+	}
+}
+
+// SyncUnlock ends a region opened by SyncLock.
+func (c *Ctx) SyncUnlock() {
+	if c.par {
+		c.p.eng.mu.Unlock()
+	}
 }
 
 // abandoned is panicked through a proc body when the engine shuts it down.

@@ -2,6 +2,7 @@ package vnet
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/sim"
@@ -13,7 +14,7 @@ import (
 // the hop/op metric is the per-scheduling-step cost.  Larger rings expose
 // how the engine's step cost scales with the number of blocked procs.
 func BenchmarkEngine(b *testing.B) {
-	for _, procs := range []int{2, 8, 32} {
+	for _, procs := range []int{2, 8, 32, 64, 256} {
 		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
 			n := New(FDDI())
 			e := sim.NewEngine()
@@ -40,6 +41,11 @@ func BenchmarkEngine(b *testing.B) {
 					}
 				})
 			}
+			// Level the collector before timing: the ring retains every
+			// message until the engine is discarded, so without this the
+			// garbage inherited from earlier subbenchmarks skews GC pacing
+			// run-to-run.
+			runtime.GC()
 			b.ResetTimer()
 			if err := e.Run(); err != nil {
 				b.Fatal(err)

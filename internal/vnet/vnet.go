@@ -121,8 +121,10 @@ func Ethernet10() Config {
 	return c
 }
 
-// transmit returns the serialization time for n bytes.
-func (c Config) transmit(n int) sim.Time {
+// transmit returns the serialization time for n bytes.  Pointer receiver:
+// Config (with its embedded FaultConfig) is ~200 bytes, and the send path
+// calls this per fragment batch.
+func (c *Config) transmit(n int) sim.Time {
 	if c.BytesPerSec <= 0 {
 		return 0
 	}
@@ -188,16 +190,27 @@ type Network struct {
 	pool []*Message
 }
 
-// alloc returns a zeroed Message, recycling freed ones.
+// msgChunk is the pool refill granularity: structs are carved from
+// chunk-sized arrays so a burst of sends that outruns Free costs one
+// allocation per chunk instead of one per message.
+const msgChunk = 64
+
+// alloc returns a Message struct, recycling freed ones.  Callers
+// overwrite every field with a composite assignment (*m = Message{...}),
+// so recycled structs are handed back without an extra zeroing pass.
 func (n *Network) alloc() *Message {
-	if k := len(n.pool); k > 0 {
-		m := n.pool[k-1]
-		n.pool[k-1] = nil
-		n.pool = n.pool[:k-1]
-		*m = Message{}
-		return m
+	k := len(n.pool)
+	if k == 0 {
+		chunk := make([]Message, msgChunk)
+		for i := range chunk {
+			n.pool = append(n.pool, &chunk[i])
+		}
+		k = msgChunk
 	}
-	return &Message{}
+	m := n.pool[k-1]
+	n.pool[k-1] = nil
+	n.pool = n.pool[:k-1]
+	return m
 }
 
 // New creates a network with the given cost model.
@@ -289,9 +302,16 @@ type Endpoint struct {
 	// Inbox index: one bucket per (from, tag) pair ever seen.  index is
 	// the exact-match lookup; order is the deterministic scan list for
 	// wildcard filters (creation order).  queued counts live messages.
-	index  map[[2]int]*bucket
-	order  []*bucket
-	queued int
+	// lastKey/lastB memoize the most recent exact lookup: delivery and an
+	// exact-filter receive hammer the same (from, tag) pair back to back,
+	// so the common case skips the map hash entirely.  The cache is only
+	// touched under the engine's Sync lock or the commit token, like the
+	// index itself.
+	index   map[[2]int]*bucket
+	order   []*bucket
+	queued  int
+	lastKey [2]int
+	lastB   *bucket
 
 	// Scheduler integration: the owner blocks in Recv against wake, and
 	// every Send into this inbox notifies it, so only this endpoint's
@@ -323,6 +343,16 @@ func (n *Network) NewEndpoint(node int, datagram bool) *Endpoint {
 // may share a node (co-located processes) as long as their ids differ.
 func (n *Network) NewEndpointID(node, id int, datagram bool) *Endpoint {
 	e := &Endpoint{net: n, node: node, id: id, datagram: datagram, index: map[[2]int]*bucket{}}
+	// The inbox satisfies sim's stable-source contract: the endpoint is
+	// single-consumer, so only the blocked owner can remove the message
+	// that satisfied its receive condition, other procs' deliveries only
+	// add candidates (the wake time — min of earliest matching arrival
+	// and the optional deadline — can only move earlier), and causality
+	// keeps new arrivals at or after the instant the wake-up committed.
+	// Stability lets the engine commit same-instant wakeups through the
+	// serial run queue and release blocked receivers speculatively in
+	// parallel batches; both re-verify the condition at the serial turn.
+	e.wake.Stable = true
 	e.wCond = func() (sim.Time, bool) {
 		if !e.wArmed {
 			return 0, false
@@ -387,7 +417,7 @@ func (e *Endpoint) xmit(ctx *sim.Ctx, dst *Endpoint, tag int, payload []byte, ob
 	// destination inbox): it is a shared operation in the engine's
 	// parallel mode and must commit in serial order.
 	ctx.Gate()
-	cfg := e.net.cfg
+	cfg := &e.net.cfg
 	fc := &cfg.Faults
 	if dst.node == e.node {
 		// Loopback: a process talking to another process (or daemon) on
@@ -506,7 +536,7 @@ func (e *Endpoint) xmit(ctx *sim.Ctx, dst *Endpoint, tag int, payload []byte, ob
 // predecessor.  The user sees only added delay — never loss, duplication
 // or reordering.
 func (e *Endpoint) streamArrival(ctx *sim.Ctx, dst *Endpoint, seq uint64, arrival sim.Time) sim.Time {
-	cfg := e.net.cfg
+	cfg := &e.net.cfg
 	fc := &cfg.Faults
 	sent := ctx.Now()
 	for attempt := uint64(0); attempt < 64; attempt++ {
@@ -542,32 +572,44 @@ func (e *Endpoint) streamArrival(ctx *sim.Ctx, dst *Endpoint, seq uint64, arriva
 }
 
 // deliver files m into its (from, tag) bucket and wakes the endpoint's
-// waiter, if any.  The inbox mutation and the Notify run inside Sync:
-// the owner's receive condition reads this inbox when it registers a
-// block, which in parallel mode may happen concurrently with a sender's
-// gated step.
+// waiter, if any.  The inbox mutation and the Notify run inside a Sync
+// region (SyncLock/SyncUnlock — the closure-free form): the owner's
+// receive condition reads this inbox when it registers a block, which in
+// parallel mode may happen concurrently with a sender's gated step.
 func (e *Endpoint) deliver(ctx *sim.Ctx, m *Message) {
-	ctx.Sync(func() {
+	ctx.SyncLock()
+	b := e.lastB
+	if b == nil || e.lastKey[0] != m.From || e.lastKey[1] != m.Tag {
 		key := [2]int{m.From, m.Tag}
-		b := e.index[key]
+		b = e.index[key]
 		if b == nil {
 			b = &bucket{from: m.From, tag: m.Tag}
 			e.index[key] = b
 			e.order = append(e.order, b)
 		}
-		b.put(m)
-		e.queued++
-		e.wake.Notify()
-	})
+		e.lastKey, e.lastB = key, b
+	}
+	b.put(m)
+	e.queued++
+	e.wake.Notify()
+	ctx.SyncUnlock()
 }
 
 // peek returns the earliest message matching (from, tag) and the bucket
 // holding it, without consuming.  Negative from/tag are wildcards.  Exact
-// filters cost one map lookup; wildcard filters scan bucket heads only.
+// filters cost one memoized map lookup; wildcard filters scan bucket
+// heads only.
 func (e *Endpoint) peek(from, tag int) (*bucket, *Message) {
 	if from >= 0 && tag >= 0 {
-		b := e.index[[2]int{from, tag}]
-		if b == nil || b.empty() {
+		b := e.lastB
+		if b == nil || e.lastKey[0] != from || e.lastKey[1] != tag {
+			b = e.index[[2]int{from, tag}]
+			if b == nil {
+				return nil, nil
+			}
+			e.lastKey, e.lastB = [2]int{from, tag}, b
+		}
+		if b.empty() {
 			return nil, nil
 		}
 		return b, b.peek()
@@ -606,10 +648,11 @@ func (e *Endpoint) Recv(ctx *sim.Ctx, from, tag int) *Message {
 	}
 	e.wFrom, e.wTag, e.wArmed, e.wHasDL = from, tag, true, false
 	ctx.WaitOnLazy(&e.wake, e.wWhat, e.wCond)
-	// Consuming mutates the inbox: a shared operation.  A proc woken from
-	// a condition block already holds the commit token (the scheduler only
-	// releases condition-blocked procs at their serial turn), so this gate
-	// is a cheap assertion-grade recheck.
+	// Consuming mutates the inbox: a shared operation.  The wake source
+	// is Stable, so in parallel mode the receiver may have been released
+	// speculatively before its serial turn — this gate is what delays the
+	// consume until the commit token arrives (the engine re-verifies the
+	// wake condition at the grant, before the gate returns).
 	ctx.Gate()
 	// Consume: disarm the wake filter first so it is never evaluated
 	// against this Recv's (now dead) parameters.
@@ -690,7 +733,7 @@ func (e *Endpoint) Free(ctx *sim.Ctx, m *Message) {
 func (e *Endpoint) Pending() int { return e.queued }
 
 func (e *Endpoint) chargeRecv(ctx *sim.Ctx, m *Message) {
-	cfg := e.net.cfg
+	cfg := &e.net.cfg
 	var cost sim.Time
 	if m.local {
 		cost = cfg.LocalOverhead
