@@ -10,6 +10,8 @@
 //	msvdsm fig <name>            # one speedup figure (e.g. fig sor-zero)
 //	msvdsm figures               # all twelve speedup figures
 //	msvdsm grid [grid flags]     # run a custom grid, emit records
+//	msvdsm serve [serve flags]   # HTTP/JSON experiment service with a
+//	                             # content-addressed result cache
 //	msvdsm ablate                # page-size / MTU ablations, microbenchmarks
 //	msvdsm all                   # tables and figures
 //	msvdsm list                  # experiment, backend and scenario names
@@ -46,11 +48,27 @@
 //	-nprocs 2,4,8     processor counts the scenario sets expand at
 //	                (default: each set's own counts — 8 for most,
 //	                16,64,256 for bigp)
+//
+// Serve flags (after the serve command):
+//
+//	-addr a:p         listen address (default 127.0.0.1:8177)
+//	-cache-dir d      persist cached records as <hash>.json files, so a
+//	                restarted server stays warm (default: memory only)
+//	-cache-entries n  in-memory cache capacity in records (default
+//	                65536; 0 = unbounded)
+//
+// The service answers /v1/grid with the same record JSON the grid
+// command emits, memoized by a canonical content hash of each job spec;
+// the global -scale, -j and -parsim flags set the server's workload
+// scale, cold-path worker pool and engine mode.  See internal/serve for
+// the API and cache-key documentation.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -59,6 +77,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -105,7 +124,9 @@ func main() {
 	case "figures":
 		err = runFigures(apps, nil, *procs, *format, run)
 	case "grid":
-		err = runGrid(apps, *scale, flag.Args()[1:], *format, run)
+		err = runGrid(*scale, flag.Args()[1:], *format, run)
+	case "serve":
+		err = runServe(flag.Args()[1:], *scale, run)
 	case "ablate":
 		var out string
 		out, err = harness.Ablations(*scale)
@@ -201,6 +222,8 @@ commands:
   figures       all twelve speedup figures
   grid          run a custom apps x backends x scenarios grid
                 (-apps, -backends, -scenarios, -nprocs; see package doc)
+  serve         HTTP/JSON experiment service with a content-addressed
+                result cache (-addr, -cache-dir, -cache-entries)
   ablate        page-size / MTU ablations and primitive microbenchmarks
   all           tables and figures
   list          experiment, backend and scenario-set names
@@ -295,87 +318,89 @@ func runFigures(apps []core.App, names []string, maxProcs int, format string, ru
 }
 
 // runGrid parses the grid command's own flags and runs the described
-// cross product.
-func runGrid(apps []core.App, scale float64, args []string, format string, run runOpts) error {
+// cross product.  Selection resolution (names, defaults, bigp registry
+// swap, validation errors) lives in harness.Selection, which the serve
+// API shares — the two surfaces accept and reject identically.
+func runGrid(scale float64, args []string, format string, run runOpts) error {
 	fs := flag.NewFlagSet("grid", flag.ContinueOnError)
 	appsFlag := fs.String("apps", "", "comma-separated app names (default: all)")
-	backendsFlag := fs.String("backends", "tmk,pvm", "comma-separated backend names")
+	backendsFlag := fs.String("backends", "", "comma-separated backend names (default tmk,pvm; bigp: tmk,tmk-sc,tmk-tree,pvm)")
 	scenariosFlag := fs.String("scenarios", "base", "comma-separated scenario sets")
 	nprocsFlag := fs.String("nprocs", "", "comma-separated processor counts (default: per scenario set)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	sets := strings.Split(*scenariosFlag, ",")
-	bigp := false
-	for i := range sets {
-		sets[i] = strings.TrimSpace(sets[i])
-		if sets[i] == "bigp" {
-			bigp = true
-		}
+	sel := harness.Selection{
+		Apps:      splitList(*appsFlag),
+		Backends:  splitList(*backendsFlag),
+		Scenarios: splitList(*scenariosFlag),
 	}
-	if bigp {
-		// The scale-out family runs the re-sized workload registry, and
-		// unless told otherwise compares the backends the large-P story
-		// is about (the tree-barrier variant included).
-		apps = harness.BigApps(scale)
-		backendsSet := false
-		fs.Visit(func(f *flag.Flag) {
-			if f.Name == "backends" {
-				backendsSet = true
-			}
-		})
-		if !backendsSet {
-			*backendsFlag = "tmk,tmk-sc,tmk-tree,pvm"
-		}
-	}
-
-	selected := apps
-	if *appsFlag != "" {
-		selected = nil
-		for _, name := range strings.Split(*appsFlag, ",") {
-			app := harness.Find(apps, name)
-			if app == nil {
-				return fmt.Errorf("unknown experiment %q (try 'msvdsm list')", name)
-			}
-			selected = append(selected, app)
-		}
-	}
-
-	var backends []core.Backend
-	for _, name := range strings.Split(*backendsFlag, ",") {
-		b, err := harness.FindBackend(strings.TrimSpace(name))
-		if err != nil {
-			return err
-		}
-		backends = append(backends, b)
-	}
-
-	var procs []int // nil = each set's default counts
 	if *nprocsFlag != "" {
 		for _, s := range strings.Split(*nprocsFlag, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || n < 1 {
 				return fmt.Errorf("bad -nprocs entry %q (want comma-separated positive counts, e.g. 2,4,8)", s)
 			}
-			procs = append(procs, n)
+			sel.NProcs = append(sel.NProcs, n)
 		}
 	}
 
-	var scenarios []core.Scenario
-	for _, set := range sets {
-		scs, err := harness.ScenarioSet(set, procs)
-		if err != nil {
-			return err
-		}
-		scenarios = append(scenarios, scs...)
+	grid, err := sel.Resolve(scale)
+	if err != nil {
+		return err
 	}
-
-	recs, err := run.grid(selected, backends, scenarios).Run()
+	grid.Scenarios = run.scenarios(grid.Scenarios)
+	grid.Workers = run.workers
+	recs, err := grid.Run()
 	if err != nil {
 		return err
 	}
 	return emit(recs, format, renderGridTable)
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// runServe starts the experiment service: the serve API over this
+// invocation's scale and worker pool, backed by a content-addressed
+// record cache.  See internal/serve for routes and cache-key rules.
+func runServe(args []string, scale float64, run runOpts) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8177", "listen address")
+	cacheDir := fs.String("cache-dir", "", "persist cached records as <hash>.json files in this directory")
+	cacheEntries := fs.Int("cache-entries", 65536, "in-memory cache capacity in records (0 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := serve.NewStore(*cacheEntries, *cacheDir)
+	if err != nil {
+		return err
+	}
+	srv := serve.New(serve.Options{
+		Scale:    scale,
+		Workers:  run.workers,
+		Parallel: run.parsim,
+		Store:    store,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("msvdsm serve: engine %s, scale %g, %d workers; listening on http://%s\n",
+		harness.EngineVersion, scale, run.workers, ln.Addr())
+	return http.Serve(ln, srv.Handler())
 }
 
 // renderGridTable is the text view of raw grid records.

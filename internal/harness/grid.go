@@ -97,30 +97,43 @@ type Grid struct {
 	// Cloneable apps run on per-job clones; other apps' runs are
 	// serialized per instance (their run state is not shareable).
 	Workers int
+
+	// Progress, when non-nil, is invoked once per completed job with the
+	// job's enumeration index and its record.  The serial path reports in
+	// enumeration order; the worker pool reports in completion order but
+	// never concurrently, and with exactly the same (index, record) set.
+	// A failing job reports no progress — its error aborts the grid.
+	// Streaming consumers (the serve API) ride this callback.
+	Progress func(index int, rec Record)
 }
 
-// gridJob is one run of the enumerated grid.
-type gridJob struct {
-	app core.App
-	b   core.Backend
-	sc  core.Scenario
+// Job is one enumerated run of a Grid: the (app, backend, scenario)
+// coordinates that produce one Record.  Jobs are exported so layers
+// above the grid — the serve result cache, a future coordinator/worker
+// split — can enumerate, content-hash (SpecHash) and execute runs
+// individually; Grid.Run is exactly Jobs followed by RunJobs.
+type Job struct {
+	App      core.App
+	Backend  core.Backend
+	Scenario core.Scenario
 }
 
-func (j gridJob) run() (Record, error) {
-	res, err := j.b.Run(j.app, j.sc)
+// Run executes the job and flattens the result into a Record.
+func (j Job) Run() (Record, error) {
+	res, err := j.Backend.Run(j.App, j.Scenario)
 	if err != nil {
-		if core.IsBaseline(j.b) {
-			return Record{}, fmt.Errorf("%s/%s: %w", j.app.Name(), j.b.Name(), err)
+		if core.IsBaseline(j.Backend) {
+			return Record{}, fmt.Errorf("%s/%s: %w", j.App.Name(), j.Backend.Name(), err)
 		}
-		return Record{}, fmt.Errorf("%s/%s/%s n=%d: %w", j.app.Name(), j.b.Name(), j.sc.Name, j.sc.Procs, err)
+		return Record{}, fmt.Errorf("%s/%s/%s n=%d: %w", j.App.Name(), j.Backend.Name(), j.Scenario.Name, j.Scenario.Procs, err)
 	}
-	return recordOf(j.app, j.b, j.sc, res), nil
+	return recordOf(j.App, j.Backend, j.Scenario, res), nil
 }
 
-// jobs enumerates the grid in deterministic order — apps outermost
+// Jobs enumerates the grid in deterministic order — apps outermost
 // (registry order), then backends, then scenarios — with the baseline
 // dedup applied.
-func (g Grid) jobs() ([]gridJob, error) {
+func (g Grid) Jobs() ([]Job, error) {
 	if len(g.Scenarios) == 0 {
 		for _, b := range g.Backends {
 			if !core.IsBaseline(b) {
@@ -128,15 +141,15 @@ func (g Grid) jobs() ([]gridJob, error) {
 			}
 		}
 	}
-	var jobs []gridJob
+	var jobs []Job
 	for _, app := range g.Apps {
 		for _, b := range g.Backends {
 			if core.IsBaseline(b) {
-				jobs = append(jobs, gridJob{app: app, b: b, sc: core.Base(1)})
+				jobs = append(jobs, Job{App: app, Backend: b, Scenario: core.Base(1)})
 				continue
 			}
 			for _, sc := range g.Scenarios {
-				jobs = append(jobs, gridJob{app: app, b: b, sc: sc})
+				jobs = append(jobs, Job{App: app, Backend: b, Scenario: sc})
 			}
 		}
 	}
@@ -150,39 +163,52 @@ func (g Grid) jobs() ([]gridJob, error) {
 // failing job is returned — the same error the serial path would have
 // produced first.
 func (g Grid) Run() ([]Record, error) {
-	jobs, err := g.jobs()
+	jobs, err := g.Jobs()
 	if err != nil {
 		return nil, err
 	}
-	if g.Workers > 1 && len(jobs) > 1 {
-		return runPool(jobs, g.Workers)
+	return RunJobs(jobs, g.Workers, g.Progress)
+}
+
+// RunJobs executes an explicit job list (typically from Grid.Jobs, or a
+// subset of it — the serve cache runs only its cold misses this way)
+// under the Grid.Run execution contract: serial on the calling goroutine
+// when workers <= 1, a worker pool otherwise, records by job index, the
+// earliest-indexed failure reported, and the optional progress callback
+// invoked per completed job as documented on Grid.Progress.
+func RunJobs(jobs []Job, workers int, progress func(index int, rec Record)) ([]Record, error) {
+	if workers > 1 && len(jobs) > 1 {
+		return runPool(jobs, workers, progress)
 	}
 	var recs []Record
-	for _, j := range jobs {
-		rec, err := j.run()
+	for i, j := range jobs {
+		rec, err := j.Run()
 		if err != nil {
 			return nil, err
 		}
 		recs = append(recs, rec)
+		if progress != nil {
+			progress(i, rec)
+		}
 	}
 	return recs, nil
 }
 
 // runPool executes the jobs across a pool of workers, collecting records
 // by job index so the output order and content match the serial path.
-func runPool(jobs []gridJob, workers int) ([]Record, error) {
+func runPool(jobs []Job, workers int, progress func(index int, rec Record)) ([]Record, error) {
 	recs := make([]Record, len(jobs))
 	errs := make([]error, len(jobs))
 	// Isolate per-job app state: cloneable apps get a fresh clone per
 	// job; the rest share their instance under a per-instance lock, so
 	// two of their runs never interleave.
 	locks := map[core.App]*sync.Mutex{}
-	work := make([]gridJob, len(jobs))
+	work := make([]Job, len(jobs))
 	for i, j := range jobs {
-		if c, ok := j.app.(core.Cloneable); ok {
-			j.app = c.Clone()
-		} else if locks[j.app] == nil {
-			locks[j.app] = &sync.Mutex{}
+		if c, ok := j.App.(core.Cloneable); ok {
+			j.App = c.Clone()
+		} else if locks[j.App] == nil {
+			locks[j.App] = &sync.Mutex{}
 		}
 		work[i] = j
 	}
@@ -192,6 +218,7 @@ func runPool(jobs []gridJob, workers int) ([]Record, error) {
 	var next atomic.Int64
 	next.Store(-1)
 	var wg sync.WaitGroup
+	var progressMu sync.Mutex
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -201,12 +228,17 @@ func runPool(jobs []gridJob, workers int) ([]Record, error) {
 				if i >= len(work) {
 					return
 				}
-				if mu := locks[jobs[i].app]; mu != nil {
+				if mu := locks[jobs[i].App]; mu != nil {
 					mu.Lock()
-					recs[i], errs[i] = work[i].run()
+					recs[i], errs[i] = work[i].Run()
 					mu.Unlock()
 				} else {
-					recs[i], errs[i] = work[i].run()
+					recs[i], errs[i] = work[i].Run()
+				}
+				if progress != nil && errs[i] == nil {
+					progressMu.Lock()
+					progress(i, recs[i])
+					progressMu.Unlock()
 				}
 			}
 		}()
@@ -236,10 +268,18 @@ var csvHeader = []string{
 	"lock_wait_ns", "barrier_wait_ns",
 }
 
-// WriteCSV emits the records as CSV with a header row.
+// WriteCSV emits the records as CSV with a header row.  The underlying
+// writer is flushed and checked per row, so a sink that breaks mid-
+// stream (a closed HTTP connection) surfaces as an error at the first
+// failing record instead of being swallowed by csv.Writer's buffering
+// until the end.
 func WriteCSV(w io.Writer, recs []Record) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
 		return err
 	}
 	for _, r := range recs {
@@ -263,7 +303,10 @@ func WriteCSV(w io.Writer, recs []Record) error {
 		if err := cw.Write(row); err != nil {
 			return err
 		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return nil
 }

@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// progressGrid is a small multi-app, multi-backend grid with a baseline
+// in it, so the enumeration exercises the dedup path too.
+func progressGrid(t *testing.T, workers int, progress func(int, Record)) []Record {
+	t.Helper()
+	apps := Apps(0.01)
+	recs, err := Grid{
+		Apps:      []core.App{Find(apps, "EP"), Find(apps, "SOR-Nonzero")},
+		Backends:  core.StandardBackends(),
+		Scenarios: BaseScenarios(2, 4),
+		Workers:   workers,
+		Progress:  progress,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// TestGridProgressSerialVsPool pins the progress-callback contract the
+// serve API streams over: the serial path reports every job in
+// enumeration order, the worker pool reports the exact same (index,
+// record) set (order unspecified, invocations serialized), and the
+// returned slices stay byte-identical.
+func TestGridProgressSerialVsPool(t *testing.T) {
+	type seen struct {
+		order []int
+		byIdx map[int]Record
+	}
+	collect := func(s *seen) func(int, Record) {
+		s.byIdx = map[int]Record{}
+		return func(i int, rec Record) {
+			// Invocations are serialized by contract; concurrent calls
+			// would race on these writes and trip -race.
+			s.order = append(s.order, i)
+			if _, dup := s.byIdx[i]; dup {
+				panic(fmt.Sprintf("progress index %d reported twice", i))
+			}
+			s.byIdx[i] = rec
+		}
+	}
+
+	var serial, pooled seen
+	serialRecs := progressGrid(t, 1, collect(&serial))
+	pooledRecs := progressGrid(t, 4, collect(&pooled))
+
+	if len(serial.order) != len(serialRecs) {
+		t.Fatalf("serial progress reported %d jobs, grid returned %d", len(serial.order), len(serialRecs))
+	}
+	for k, i := range serial.order {
+		if k != i {
+			t.Fatalf("serial progress out of enumeration order: %v", serial.order)
+		}
+		if serial.byIdx[i] != serialRecs[i] {
+			t.Fatalf("serial progress record %d differs from returned record", i)
+		}
+	}
+
+	if len(pooled.byIdx) != len(serial.byIdx) {
+		t.Fatalf("pool reported %d jobs, serial %d", len(pooled.byIdx), len(serial.byIdx))
+	}
+	for i, rec := range serial.byIdx {
+		if pooled.byIdx[i] != rec {
+			t.Fatalf("pool progress record %d differs from serial:\n  pool   %+v\n  serial %+v", i, pooled.byIdx[i], rec)
+		}
+	}
+
+	var sb, pb bytes.Buffer
+	if err := WriteJSON(&sb, serialRecs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&pb, pooledRecs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+		t.Fatal("serial and pooled grid output not byte-identical with progress enabled")
+	}
+}
+
+// brokenWriter fails every write after the first n bytes — a stand-in
+// for an HTTP client that hung up mid-stream.
+type brokenWriter struct {
+	n   int
+	err error
+}
+
+func (w *brokenWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, w.err
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// TestWriteRecordsPropagatesWriterErrors pins the satellite fix: both
+// record writers must surface a broken sink as an error — WriteCSV via
+// its per-row flush checks (csv.Writer otherwise buffers the failure
+// past the rows that hit it), WriteJSON via the encoder.
+func TestWriteRecordsPropagatesWriterErrors(t *testing.T) {
+	recs := make([]Record, 64)
+	for i := range recs {
+		recs[i] = Record{App: "app", Backend: "tmk", Scenario: "base", Procs: 8, TimeNS: int64(i)}
+	}
+	sentinel := errors.New("connection reset")
+
+	for _, cut := range []int{0, 10, 200} {
+		if err := WriteCSV(&brokenWriter{n: cut, err: sentinel}, recs); !errors.Is(err, sentinel) {
+			t.Errorf("WriteCSV with sink broken after %d bytes: err = %v, want %v", cut, err, sentinel)
+		}
+		if err := WriteJSON(&brokenWriter{n: cut, err: sentinel}, recs); !errors.Is(err, sentinel) {
+			t.Errorf("WriteJSON with sink broken after %d bytes: err = %v, want %v", cut, err, sentinel)
+		}
+	}
+
+	// A healthy sink still round-trips cleanly.
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatalf("WriteCSV on a healthy sink: %v", err)
+	}
+	if err := WriteJSON(&buf, recs); err != nil {
+		t.Fatalf("WriteJSON on a healthy sink: %v", err)
+	}
+}

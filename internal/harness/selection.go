@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Selection names a grid in the user-facing selection vocabulary —
+// the `msvdsm grid -apps/-backends/-scenarios/-nprocs` flags and the
+// serve API's request schema are both thin parsers into this type, so
+// the two surfaces resolve and validate identically.
+type Selection struct {
+	Apps      []string // app names; empty selects the full registry
+	Backends  []string // backend names; empty selects tmk,pvm (bigp: tmk,tmk-sc,tmk-tree,pvm)
+	Scenarios []string // scenario-set names; empty selects base
+	NProcs    []int    // processor counts; empty selects each set's defaults
+}
+
+// FieldError tags a selection error with the request field at fault, so
+// the HTTP layer can answer malformed specs with structured 400s while
+// the CLI keeps printing the bare message.
+type FieldError struct {
+	Field string
+	Err   error
+}
+
+func (e *FieldError) Error() string { return e.Err.Error() }
+func (e *FieldError) Unwrap() error { return e.Err }
+
+func fieldErr(field string, err error) error {
+	return &FieldError{Field: field, Err: err}
+}
+
+// Resolve expands the selection into a concrete Grid against the app
+// registry at the given workload scale.  Selecting the bigp scenario
+// set anywhere swaps in the re-sized BigApps registry and, when no
+// backends were named, the large-P backend comparison.  Every
+// resolution error is a *FieldError naming the offending field and the
+// valid choices.
+func (sel Selection) Resolve(scale float64) (Grid, error) {
+	sets := make([]string, 0, len(sel.Scenarios))
+	for _, s := range sel.Scenarios {
+		if s = strings.TrimSpace(s); s != "" {
+			sets = append(sets, s)
+		}
+	}
+	if len(sets) == 0 {
+		sets = []string{"base"}
+	}
+	bigp := false
+	for _, s := range sets {
+		if s == "bigp" {
+			bigp = true
+		}
+	}
+
+	apps := Apps(scale)
+	if bigp {
+		// The scale-out family runs the re-sized workload registry, and
+		// unless told otherwise compares the backends the large-P story
+		// is about (the tree-barrier variant included).
+		apps = BigApps(scale)
+	}
+	selected := apps
+	if len(sel.Apps) > 0 {
+		selected = nil
+		for _, name := range sel.Apps {
+			app := Find(apps, strings.TrimSpace(name))
+			if app == nil {
+				return Grid{}, fieldErr("apps", fmt.Errorf("unknown experiment %q (have %v)", name, Names(apps)))
+			}
+			selected = append(selected, app)
+		}
+	}
+
+	names := sel.Backends
+	if len(names) == 0 {
+		names = []string{"tmk", "pvm"}
+		if bigp {
+			names = []string{"tmk", "tmk-sc", "tmk-tree", "pvm"}
+		}
+	}
+	var backends []core.Backend
+	for _, name := range names {
+		b, err := FindBackend(strings.TrimSpace(name))
+		if err != nil {
+			return Grid{}, fieldErr("backends", err)
+		}
+		backends = append(backends, b)
+	}
+
+	for _, n := range sel.NProcs {
+		if n < 1 {
+			return Grid{}, fieldErr("nprocs", fmt.Errorf("bad processor count %d (want positive counts, e.g. 2,4,8)", n))
+		}
+	}
+
+	var scenarios []core.Scenario
+	for _, set := range sets {
+		scs, err := ScenarioSet(set, sel.NProcs)
+		if err != nil {
+			return Grid{}, fieldErr("scenarios", err)
+		}
+		scenarios = append(scenarios, scs...)
+	}
+
+	return Grid{Apps: selected, Backends: backends, Scenarios: scenarios}, nil
+}

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/harness"
+)
+
+// Store is the content-addressed record cache: an in-memory LRU over
+// spec hashes (harness.SpecHash) with optional on-disk persistence.
+// Records are immutable once computed — a hash fully determines its
+// record — so the store needs no invalidation beyond capacity eviction:
+// model changes arrive as new EngineVersion hashes, never as updates.
+type Store struct {
+	mu    sync.Mutex
+	cap   int // max in-memory entries; <= 0 means unbounded
+	ll    *list.List
+	byKey map[string]*list.Element
+
+	dir string // "" disables disk persistence
+
+	hits, diskHits, misses, evictions int64
+}
+
+type storeEntry struct {
+	key string
+	rec harness.Record
+}
+
+// StoreStats is a counter snapshot.  Hits counts every Get answered
+// (DiskHits the subset that came off disk), Misses every Get that did
+// not, Evictions the entries dropped by the in-memory capacity bound
+// (evicted entries persisted to disk remain warm there).
+type StoreStats struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	DiskHits  int64 `json:"disk_hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// NewStore returns a store holding up to capacity records in memory
+// (capacity <= 0 means unbounded) and, when dir is non-empty, persisting
+// every record as <dir>/<hash>.json so a restarted server stays warm.
+func NewStore(capacity int, dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: cache dir: %w", err)
+		}
+	}
+	return &Store{cap: capacity, ll: list.New(), byKey: map[string]*list.Element{}, dir: dir}, nil
+}
+
+// Get returns the cached record for key.  A memory miss falls through
+// to the disk tier (when configured) and promotes its hit into memory.
+func (s *Store) Get(key string) (harness.Record, bool) {
+	return s.lookup(key, true)
+}
+
+// lookup is Get with optional counting: the server's singleflight
+// double-check re-probes keys it already counted a miss for, and must
+// not skew the hit-rate counters doing so.
+func (s *Store) lookup(key string, count bool) (harness.Record, bool) {
+	s.mu.Lock()
+	if el, ok := s.byKey[key]; ok {
+		s.ll.MoveToFront(el)
+		rec := el.Value.(*storeEntry).rec
+		if count {
+			s.hits++
+		}
+		s.mu.Unlock()
+		return rec, true
+	}
+	s.mu.Unlock()
+	if s.dir != "" {
+		if rec, ok := s.load(key); ok {
+			s.mu.Lock()
+			s.insert(key, rec)
+			if count {
+				s.hits++
+				s.diskHits++
+			}
+			s.mu.Unlock()
+			return rec, true
+		}
+	}
+	if count {
+		s.mu.Lock()
+		s.misses++
+		s.mu.Unlock()
+	}
+	return harness.Record{}, false
+}
+
+// Put caches the record under key in memory and, when persistence is
+// configured, on disk.
+func (s *Store) Put(key string, rec harness.Record) {
+	s.mu.Lock()
+	s.insert(key, rec)
+	s.mu.Unlock()
+	if s.dir != "" {
+		s.save(key, rec)
+	}
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Entries:   s.ll.Len(),
+		Hits:      s.hits,
+		DiskHits:  s.diskHits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+	}
+}
+
+// insert adds or refreshes an entry and enforces the capacity bound.
+// Caller holds s.mu.
+func (s *Store) insert(key string, rec harness.Record) {
+	if el, ok := s.byKey[key]; ok {
+		s.ll.MoveToFront(el)
+		el.Value.(*storeEntry).rec = rec
+		return
+	}
+	s.byKey[key] = s.ll.PushFront(&storeEntry{key: key, rec: rec})
+	if s.cap > 0 {
+		for s.ll.Len() > s.cap {
+			el := s.ll.Back()
+			s.ll.Remove(el)
+			delete(s.byKey, el.Value.(*storeEntry).key)
+			s.evictions++
+		}
+	}
+}
+
+// path maps a spec hash to its persistence file.  Hashes are lowercase
+// hex by construction; anything else is rejected so a hand-crafted key
+// can never escape the cache directory.
+func (s *Store) path(key string) (string, bool) {
+	if key == "" {
+		return "", false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", false
+		}
+	}
+	return filepath.Join(s.dir, key+".json"), true
+}
+
+func (s *Store) load(key string) (harness.Record, bool) {
+	p, ok := s.path(key)
+	if !ok {
+		return harness.Record{}, false
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return harness.Record{}, false
+	}
+	var rec harness.Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return harness.Record{}, false // corrupt file: treat as a miss
+	}
+	return rec, true
+}
+
+// save persists a record as a JSON file, written to a temp name and
+// renamed so concurrent readers never observe a torn write.
+func (s *Store) save(key string, rec harness.Record) {
+	p, ok := s.path(key)
+	if !ok {
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func rec(n int64) harness.Record {
+	return harness.Record{App: "app", Backend: "tmk", Scenario: "base", Procs: 8, TimeNS: n}
+}
+
+// key returns a syntactically valid (hex) test key.
+func key(s string) string { return strings.Repeat("0", 8) + hexish(s) }
+
+func hexish(s string) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		out[i] = digits[int(s[i])%16]
+	}
+	return string(out)
+}
+
+// TestStoreLRUEviction pins the capacity bound: least-recently-used
+// entries fall out first, touched entries survive, and the eviction
+// counter advances.
+func TestStoreLRUEviction(t *testing.T) {
+	s, err := NewStore(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(key("a"), rec(1))
+	s.Put(key("b"), rec(2))
+	if _, ok := s.Get(key("a")); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing before capacity reached")
+	}
+	s.Put(key("c"), rec(3)) // evicts b
+	if _, ok := s.Get(key("b")); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if r, ok := s.Get(key("a")); !ok || r != rec(1) {
+		t.Fatalf("recently used entry a evicted (ok=%v rec=%+v)", ok, r)
+	}
+	if r, ok := s.Get(key("c")); !ok || r != rec(3) {
+		t.Fatalf("newest entry c missing (ok=%v rec=%+v)", ok, r)
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+}
+
+// TestStoreDiskPersistence checks the disk tier: a fresh store over the
+// same directory answers from the persisted files (counted as disk
+// hits), corrupt files degrade to misses, and keys that are not hex
+// hashes never touch the filesystem.
+func TestStoreDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewStore(16, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Put(key("a"), rec(7))
+
+	s2, err := NewStore(16, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := s2.Get(key("a"))
+	if !ok || r != rec(7) {
+		t.Fatalf("restarted store cold: ok=%v rec=%+v", ok, r)
+	}
+	st := s2.Stats()
+	if st.DiskHits != 1 || st.Hits != 1 {
+		t.Fatalf("disk hit not counted: %+v", st)
+	}
+	// Promoted into memory: the second Get is a memory hit.
+	if _, ok := s2.Get(key("a")); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st = s2.Stats(); st.DiskHits != 1 || st.Hits != 2 {
+		t.Fatalf("promotion not effective: %+v", st)
+	}
+
+	// Eviction does not erase the disk tier: squeeze the entry out of a
+	// tiny store and find it again on disk.
+	s3, err := NewStore(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s3.Get(key("a")); !ok {
+		t.Fatal("disk entry missing in tiny store")
+	}
+	s3.Put(key("b"), rec(8)) // evicts a from memory
+	if _, ok := s3.Get(key("a")); !ok {
+		t.Fatal("evicted entry lost from disk tier")
+	}
+
+	// Corrupt file: miss, not an error.
+	bad := key("x")
+	if err := os.WriteFile(filepath.Join(dir, bad+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(bad); ok {
+		t.Fatal("corrupt persisted record served as a hit")
+	}
+
+	// Non-hex keys must not reach the filesystem.
+	s2.Put("../escape", rec(9))
+	if _, err := os.Stat(filepath.Join(filepath.Dir(dir), "escape.json")); err == nil {
+		t.Fatal("non-hex key escaped the cache directory")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), "escape") {
+			t.Fatalf("non-hex key persisted as %q", e.Name())
+		}
+	}
+}

@@ -1,0 +1,525 @@
+// Package serve is the experiment service: an HTTP/JSON API over the
+// harness Grid/Record machinery with a content-addressed result cache.
+//
+// Every run in this reproduction is deterministic (the pinned goldens
+// prove bit-identical modeled metrics across four execution modes), so
+// a Record is a pure function of (app, backend, scenario, nprocs,
+// engine version) and therefore perfectly cacheable.  The server
+// exploits that: each enumerated grid job is named by the canonical
+// content hash of its full spec (harness.SpecHash — app name + problem
+// size, backend name, the whole scenario config including fault and
+// cost-model overrides, processor count, and harness.EngineVersion),
+// warm requests answer straight from a memoizing store, a singleflight
+// layer collapses concurrent identical cold requests into one
+// computation, and cold sweeps can stream per-record progress so large
+// grids render incrementally.  Heavy read traffic is served from the
+// cache; only genuinely novel scenarios burn CPU.
+//
+// # Routes
+//
+//	GET  /healthz    liveness probe; "ok"
+//	GET  /v1/grid    run (or recall) a grid, reply with the JSON record
+//	                 array — byte-identical whether served cold or warm
+//	POST /v1/grid    same, selection in a JSON body
+//	GET  /v1/spec    enumerate a grid without running it: per-job
+//	                 canonical spec hashes plus the engine version
+//	POST /v1/spec    same, selection in a JSON body
+//	GET  /v1/stats   service and cache counters (hits, misses, disk
+//	                 hits, evictions, inflight, computed, records
+//	                 served, requests)
+//
+// /v1/grid and /v1/spec take the msvdsm grid selection vocabulary —
+// query parameters apps, backends, scenarios (scenario-set names),
+// nprocs (comma-separated lists) and scale, or the same fields as a
+// JSON object — and validate it with the same errors the CLI prints:
+// a malformed selection is a structured 400 naming the offending field
+// and the valid choices.  `stream=1` on /v1/grid switches the response
+// to JSON lines: one {index, total, cached, record} object per
+// completed job in completion order, then a {done, records, hits,
+// computed} summary line.
+//
+// # Cache key and engine version
+//
+// The cache key is harness.SpecHash: the hex SHA-256 of the canonical
+// spec rendering (harness.CanonicalSpec).  The key deliberately
+// excludes execution-mode knobs (parallel engine, worker pool width)
+// whose outputs are byte-identical by contract, and includes
+// harness.EngineVersion, which must be bumped in lockstep with golden
+// regeneration — any model-change PR invalidates every cached record
+// simply by moving the hashes.  See internal/harness/spec.go.
+//
+// # Quickstart
+//
+//	msvdsm -scale 0.1 -j 4 serve -addr localhost:8177 -cache-dir /tmp/msvdsm-cache &
+//
+//	# cold: computes and caches; warm: identical bytes, no compute
+//	curl -s 'localhost:8177/v1/grid?apps=sor-nonzero&backends=tmk,pvm&scenarios=base&nprocs=2,4'
+//	curl -s 'localhost:8177/v1/grid?apps=sor-nonzero&backends=tmk,pvm&scenarios=base&nprocs=2,4'
+//
+//	# stream a big sweep as it computes
+//	curl -sN 'localhost:8177/v1/grid?scenarios=page,lat&stream=1'
+//
+//	# what would run, and under which cache keys?
+//	curl -s 'localhost:8177/v1/spec?apps=ep&scenarios=loss&nprocs=4'
+//
+//	curl -s localhost:8177/v1/stats
+//
+// The server composes with the planned coordinator/worker split: a
+// coordinator would keep exactly this API and store, and dispatch cache
+// misses to a worker fleet by job index instead of the local pool.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Scale is the workload scale factor the app registries resolve at
+	// when a request does not carry its own (0 means 1.0, paper scale).
+	Scale float64
+
+	// Workers bounds the per-request cold-path worker pool (<= 1 runs
+	// jobs serially).
+	Workers int
+
+	// Parallel runs each simulation on the deterministically parallel
+	// engine.  Results are byte-identical to the serial engine, so the
+	// cache key ignores this knob.
+	Parallel bool
+
+	// Store is the content-addressed record cache; required.
+	Store *Store
+}
+
+// Server answers grid requests from the cache, computing only misses.
+type Server struct {
+	opts Options
+
+	flights flightGroup
+
+	requests      atomic.Int64
+	badRequests   atomic.Int64
+	recordsServed atomic.Int64
+	computed      atomic.Int64
+	inflight      atomic.Int64
+}
+
+// New returns a server over the given options.
+func New(opts Options) *Server {
+	if opts.Scale == 0 {
+		opts.Scale = 1.0
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.Store == nil {
+		store, err := NewStore(0, "")
+		if err != nil {
+			panic(err) // unreachable: no dir, no IO
+		}
+		opts.Store = store
+	}
+	return &Server{opts: opts}
+}
+
+// Handler returns the service's route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/grid", s.handleGrid)
+	mux.HandleFunc("/v1/spec", s.handleSpec)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+// Stats is the /v1/stats document.
+type Stats struct {
+	Engine        string `json:"engine"`
+	Requests      int64  `json:"requests"`
+	BadRequests   int64  `json:"bad_requests"`
+	RecordsServed int64  `json:"records_served"`
+	Computed      int64  `json:"computed"`
+	Inflight      int64  `json:"inflight"`
+	StoreStats
+}
+
+// Stats returns a snapshot of the service counters.  Computed counts
+// actual backend runs — the warm-path proof is this number standing
+// still while records keep flowing.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Engine:        harness.EngineVersion,
+		Requests:      s.requests.Load(),
+		BadRequests:   s.badRequests.Load(),
+		RecordsServed: s.recordsServed.Load(),
+		Computed:      s.computed.Load(),
+		Inflight:      s.inflight.Load(),
+		StoreStats:    s.opts.Store.Stats(),
+	}
+}
+
+// gridRequest is the selection schema shared by /v1/grid and /v1/spec:
+// the msvdsm grid flag vocabulary as query parameters or a JSON body.
+type gridRequest struct {
+	Apps      []string `json:"apps,omitempty"`
+	Backends  []string `json:"backends,omitempty"`
+	Scenarios []string `json:"scenarios,omitempty"`
+	NProcs    []int    `json:"nprocs,omitempty"`
+	Scale     float64  `json:"scale,omitempty"`
+	Stream    bool     `json:"stream,omitempty"`
+}
+
+// apiError is the structured 400/500 body.
+type apiError struct {
+	Error string `json:"error"`
+	Field string `json:"field,omitempty"`
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseRequest decodes the selection from the query string (GET) or a
+// JSON body (POST).  Errors are *harness.FieldError so the reply can
+// name the offending field.
+func parseRequest(r *http.Request) (gridRequest, error) {
+	var req gridRequest
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		req.Apps = splitList(q.Get("apps"))
+		req.Backends = splitList(q.Get("backends"))
+		req.Scenarios = splitList(q.Get("scenarios"))
+		for _, part := range splitList(q.Get("nprocs")) {
+			n, err := strconv.Atoi(part)
+			if err != nil || n < 1 {
+				return req, &harness.FieldError{Field: "nprocs",
+					Err: fmt.Errorf("bad nprocs entry %q (want comma-separated positive counts, e.g. 2,4,8)", part)}
+			}
+			req.NProcs = append(req.NProcs, n)
+		}
+		if v := q.Get("scale"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 {
+				return req, &harness.FieldError{Field: "scale",
+					Err: fmt.Errorf("bad scale %q (want a positive workload scale factor, e.g. 0.1)", v)}
+			}
+			req.Scale = f
+		}
+		req.Stream = q.Get("stream") == "1" || strings.EqualFold(q.Get("stream"), "true")
+	case http.MethodPost:
+		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return req, &harness.FieldError{Field: "body", Err: fmt.Errorf("bad request body: %w", err)}
+		}
+		for _, n := range req.NProcs {
+			if n < 1 {
+				return req, &harness.FieldError{Field: "nprocs",
+					Err: fmt.Errorf("bad nprocs entry %d (want positive counts, e.g. 2,4,8)", n)}
+			}
+		}
+		if req.Scale < 0 {
+			return req, &harness.FieldError{Field: "scale",
+				Err: fmt.Errorf("bad scale %g (want a positive workload scale factor)", req.Scale)}
+		}
+	default:
+		return req, &harness.FieldError{Field: "method",
+			Err: fmt.Errorf("method %s not allowed (use GET or POST)", r.Method)}
+	}
+	return req, nil
+}
+
+// resolve turns a request into enumerated jobs plus their spec hashes.
+func (s *Server) resolve(req gridRequest) ([]harness.Job, []string, error) {
+	scale := req.Scale
+	if scale == 0 {
+		scale = s.opts.Scale
+	}
+	sel := harness.Selection{
+		Apps:      req.Apps,
+		Backends:  req.Backends,
+		Scenarios: req.Scenarios,
+		NProcs:    req.NProcs,
+	}
+	grid, err := sel.Resolve(scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.opts.Parallel {
+		for i := range grid.Scenarios {
+			grid.Scenarios[i].Parallel = true
+		}
+	}
+	jobs, err := grid.Jobs()
+	if err != nil {
+		return nil, nil, &harness.FieldError{Field: "scenarios", Err: err}
+	}
+	hashes := make([]string, len(jobs))
+	for i, j := range jobs {
+		hashes[i] = harness.SpecHash(j)
+	}
+	return jobs, hashes, nil
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusBadRequest {
+		s.badRequests.Add(1)
+	}
+	body := apiError{Error: err.Error()}
+	var fe *harness.FieldError
+	if errors.As(err, &fe) {
+		body.Field = fe.Field
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats())
+}
+
+// specJob is one /v1/spec entry.
+type specJob struct {
+	Index    int    `json:"index"`
+	App      string `json:"app"`
+	Problem  string `json:"problem,omitempty"`
+	Backend  string `json:"backend"`
+	Scenario string `json:"scenario"`
+	Procs    int    `json:"procs"`
+	Hash     string `json:"hash"`
+}
+
+func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	req, err := parseRequest(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	jobs, hashes, err := s.resolve(req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := struct {
+		Engine string    `json:"engine"`
+		Jobs   []specJob `json:"jobs"`
+	}{Engine: harness.EngineVersion, Jobs: make([]specJob, len(jobs))}
+	for i, j := range jobs {
+		out.Jobs[i] = specJob{
+			Index:    i,
+			App:      j.App.Name(),
+			Problem:  j.App.Problem(),
+			Backend:  j.Backend.Name(),
+			Scenario: j.Scenario.Name,
+			Procs:    j.Scenario.Procs,
+			Hash:     hashes[i],
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+// streamLine is one JSON line of a streaming grid response.
+type streamLine struct {
+	Index  int             `json:"index"`
+	Total  int             `json:"total"`
+	Cached bool            `json:"cached"`
+	Record *harness.Record `json:"record"`
+}
+
+// streamDone is the closing summary line.
+type streamDone struct {
+	Done     bool   `json:"done"`
+	Records  int    `json:"records"`
+	Hits     int    `json:"hits"`
+	Computed int    `json:"computed"`
+	Error    string `json:"error,omitempty"`
+}
+
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	req, err := parseRequest(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	jobs, hashes, err := s.resolve(req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Partition warm and cold: warm jobs answer from the store without
+	// touching any backend, cold indices go to the worker pool below.
+	recs := make([]harness.Record, len(jobs))
+	cached := make([]bool, len(jobs))
+	var cold []int
+	for i := range jobs {
+		if rec, ok := s.opts.Store.Get(hashes[i]); ok {
+			recs[i], cached[i] = rec, true
+		} else {
+			cold = append(cold, i)
+		}
+	}
+
+	var emit func(line any) error
+	if req.Stream {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Accel-Buffering", "no")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		var mu sync.Mutex
+		emit = func(line any) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		}
+		for i := range jobs {
+			if cached[i] {
+				emit(streamLine{Index: i, Total: len(jobs), Cached: true, Record: &recs[i]})
+			}
+		}
+	}
+
+	if err := s.runCold(jobs, hashes, recs, cold, emit); err != nil {
+		if req.Stream {
+			// Headers are long gone; report the failure in-band.
+			emit(streamDone{Done: true, Records: len(jobs), Hits: len(jobs) - len(cold),
+				Computed: len(cold), Error: err.Error()})
+			return
+		}
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	s.recordsServed.Add(int64(len(recs)))
+	if req.Stream {
+		emit(streamDone{Done: true, Records: len(jobs), Hits: len(jobs) - len(cold), Computed: len(cold)})
+		return
+	}
+	// One JSON array in enumeration order: byte-identical whether every
+	// record came from the store or from a fresh computation.
+	w.Header().Set("Content-Type", "application/json")
+	if err := harness.WriteJSON(w, recs); err != nil {
+		return // broken client connection mid-stream; nothing to salvage
+	}
+}
+
+// runCold executes the cold job indices across the worker pool, filling
+// recs in place.  Each computation goes through the singleflight group
+// keyed by spec hash, and re-checks the store inside the flight, so an
+// identical job — in this request or a concurrent one — computes
+// exactly once no matter how the flights interleave with completions.
+func (s *Server) runCold(jobs []harness.Job, hashes []string, recs []harness.Record, cold []int, emit func(any) error) error {
+	if len(cold) == 0 {
+		return nil
+	}
+	// Isolate per-job app state exactly as the grid pool does: cloneable
+	// apps get a fresh clone per job, the rest serialize per instance.
+	locks := map[core.App]*sync.Mutex{}
+	work := make(map[int]harness.Job, len(cold))
+	for _, i := range cold {
+		j := jobs[i]
+		if c, ok := j.App.(core.Cloneable); ok {
+			j.App = c.Clone()
+		} else if locks[j.App] == nil {
+			locks[j.App] = &sync.Mutex{}
+		}
+		work[i] = j
+	}
+	workers := s.opts.Workers
+	if workers > len(cold) {
+		workers = len(cold)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, len(jobs))
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1))
+				if k >= len(cold) {
+					return
+				}
+				i := cold[k]
+				s.inflight.Add(1)
+				rec, err, _ := s.flights.do(hashes[i], func() (harness.Record, error) {
+					// Double-check the store: a flight for this hash may
+					// have completed between our miss and now.  Quiet
+					// lookup — this request already counted its miss.
+					if rec, ok := s.opts.Store.lookup(hashes[i], false); ok {
+						return rec, nil
+					}
+					s.computed.Add(1)
+					j := work[i]
+					if mu := locks[jobs[i].App]; mu != nil {
+						mu.Lock()
+						defer mu.Unlock()
+					}
+					rec, err := j.Run()
+					if err == nil {
+						s.opts.Store.Put(hashes[i], rec)
+					}
+					return rec, err
+				})
+				s.inflight.Add(-1)
+				recs[i], errs[i] = rec, err
+				if err == nil && emit != nil {
+					emit(streamLine{Index: i, Total: len(jobs), Cached: false, Record: &recs[i]})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
