@@ -11,7 +11,10 @@
 //	msvdsm figures               # all twelve speedup figures
 //	msvdsm grid [grid flags]     # run a custom grid, emit records
 //	msvdsm serve [serve flags]   # HTTP/JSON experiment service with a
-//	                             # content-addressed result cache
+//	                             # content-addressed result cache and an
+//	                             # optional worker-fleet dispatcher
+//	msvdsm worker [worker flags] # join a coordinator's fleet and run
+//	                             # leased grid jobs
 //	msvdsm ablate                # page-size / MTU ablations, microbenchmarks
 //	msvdsm all                   # tables and figures
 //	msvdsm list                  # experiment, backend and scenario names
@@ -56,26 +59,50 @@
 //	                restarted server stays warm (default: memory only)
 //	-cache-entries n  in-memory cache capacity in records (default
 //	                65536; 0 = unbounded)
+//	-workers          accept a worker fleet: expose the /v1/dispatch
+//	                lease API and farm cache-miss jobs to registered
+//	                workers, falling back to local compute when none
+//	                are live
+//	-lease-ttl d      job lease duration before reassignment (10s)
+//	-heartbeat d      worker heartbeat interval (2s; liveness is 3x)
+//	-drain d          graceful-shutdown drain deadline (15s)
+//
+// Worker flags (after the worker command):
+//
+//	-coordinator url  coordinator base URL (required)
+//	-name s           worker name in coordinator logs
+//	-poll d           lease long-poll duration (2s)
+//	-fault-*          deterministic fault injection (crash/stall/reject/
+//	                slow on exact job ordinals or seeded rates); the
+//	                reliability tests and the CI fleet smoke drive these
 //
 // The service answers /v1/grid with the same record JSON the grid
 // command emits, memoized by a canonical content hash of each job spec;
 // the global -scale, -j and -parsim flags set the server's workload
 // scale, cold-path worker pool and engine mode.  See internal/serve for
-// the API and cache-key documentation.
+// the API and cache-key documentation, and internal/dispatch for the
+// lease protocol and its fault-tolerance machinery.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/harness"
 	"repro/internal/serve"
 )
@@ -127,6 +154,8 @@ func main() {
 		err = runGrid(*scale, flag.Args()[1:], *format, run)
 	case "serve":
 		err = runServe(flag.Args()[1:], *scale, run)
+	case "worker":
+		err = runWorker(flag.Args()[1:])
 	case "ablate":
 		var out string
 		out, err = harness.Ablations(*scale)
@@ -223,7 +252,9 @@ commands:
   grid          run a custom apps x backends x scenarios grid
                 (-apps, -backends, -scenarios, -nprocs; see package doc)
   serve         HTTP/JSON experiment service with a content-addressed
-                result cache (-addr, -cache-dir, -cache-entries)
+                result cache and optional worker-fleet dispatch
+                (-addr, -cache-dir, -cache-entries, -workers)
+  worker        join a coordinator's worker fleet (-coordinator url)
   ablate        page-size / MTU ablations and primitive microbenchmarks
   all           tables and figures
   list          experiment, backend and scenario-set names
@@ -375,12 +406,23 @@ func splitList(s string) []string {
 
 // runServe starts the experiment service: the serve API over this
 // invocation's scale and worker pool, backed by a content-addressed
-// record cache.  See internal/serve for routes and cache-key rules.
+// record cache and, with -workers, fronting a worker fleet through the
+// lease dispatcher.  See internal/serve and internal/dispatch.
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the dispatcher stops
+// leasing and waits for in-flight leases, then http.Server.Shutdown
+// drains in-flight requests up to the -drain deadline.  A clean drain
+// exits 0; blowing the deadline forces connections closed and exits
+// nonzero.  A second signal forces immediate process death.
 func runServe(args []string, scale float64, run runOpts) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8177", "listen address")
 	cacheDir := fs.String("cache-dir", "", "persist cached records as <hash>.json files in this directory")
 	cacheEntries := fs.Int("cache-entries", 65536, "in-memory cache capacity in records (0 = unbounded)")
+	workersAPI := fs.Bool("workers", false, "accept a worker fleet: expose /v1/dispatch and lease cache-miss jobs to registered workers")
+	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "worker job lease duration before reassignment")
+	heartbeat := fs.Duration("heartbeat", 2*time.Second, "worker heartbeat interval (liveness window is 3x)")
+	drainTimeout := fs.Duration("drain", 15*time.Second, "graceful shutdown drain deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -388,19 +430,139 @@ func runServe(args []string, scale float64, run runOpts) error {
 	if err != nil {
 		return err
 	}
+	var dsp *dispatch.Dispatcher
+	if *workersAPI {
+		dsp = dispatch.New(dispatch.Config{
+			LeaseTTL:  *leaseTTL,
+			Heartbeat: *heartbeat,
+			Logf:      log.Printf,
+		})
+	}
 	srv := serve.New(serve.Options{
-		Scale:    scale,
-		Workers:  run.workers,
-		Parallel: run.parsim,
-		Store:    store,
+		Scale:      scale,
+		Workers:    run.workers,
+		Parallel:   run.parsim,
+		Store:      store,
+		Dispatcher: dsp,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("msvdsm serve: engine %s, scale %g, %d workers; listening on http://%s\n",
-		harness.EngineVersion, scale, run.workers, ln.Addr())
-	return http.Serve(ln, srv.Handler())
+	httpSrv := &http.Server{
+		Handler: srv.Handler(),
+		// A client that never finishes its headers, or an idle
+		// keep-alive connection, must not pin a goroutine forever.
+		// There is deliberately no overall write timeout: cold grid
+		// sweeps stream for as long as the jobs take.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	fleet := ""
+	if dsp != nil {
+		fleet = fmt.Sprintf(", worker fleet on /v1/dispatch (lease ttl %v)", *leaseTTL)
+	}
+	fmt.Printf("msvdsm serve: engine %s, scale %g, %d workers%s; listening on http://%s\n",
+		harness.EngineVersion, scale, run.workers, fleet, ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		if dsp != nil {
+			dsp.Close()
+		}
+		return err
+	case <-sigCtx.Done():
+	}
+	stop() // restore default handling: a second signal kills immediately
+	log.Printf("msvdsm serve: signal received; draining (deadline %v)", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if dsp != nil {
+		// Stop leasing first so queued jobs bounce back to local
+		// compute, then let in-flight leases report their results
+		// before the listener goes away.
+		dsp.StartDrain()
+		if err := dsp.Quiesce(ctx); err != nil {
+			log.Printf("msvdsm serve: %d worker leases still in flight at drain deadline", dsp.Stats().LeasesOutstanding)
+		}
+	}
+	shutdownErr := httpSrv.Shutdown(ctx)
+	if dsp != nil {
+		dsp.Close()
+	}
+	// The disk cache writes synchronously on every Put, so a clean
+	// Shutdown (all in-flight computes finished) implies the cache is
+	// flushed; nothing more to persist here.
+	if shutdownErr != nil {
+		httpSrv.Close()
+		return fmt.Errorf("forced shutdown: in-flight requests outlived the %v drain deadline: %w", *drainTimeout, shutdownErr)
+	}
+	log.Printf("msvdsm serve: clean shutdown")
+	return nil
+}
+
+// runWorker joins a coordinator's fleet: register, long-poll for job
+// leases, run each leased job through the local registries (the spec
+// hash check refuses version-skewed work), report records back.
+// SIGINT/SIGTERM drains gracefully — announce drain, finish the
+// in-flight job, deregister, exit 0; a second signal kills immediately.
+// The -fault-* flags are the deterministic fault-injection harness the
+// reliability tests and CI drive.
+func runWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
+	coordinator := fs.String("coordinator", "", "coordinator base URL (required), e.g. http://127.0.0.1:8177")
+	name := fs.String("name", "", "worker name in coordinator logs (default host:pid)")
+	poll := fs.Duration("poll", 2*time.Second, "lease long-poll duration")
+	faultSeed := fs.Uint64("fault-seed", 0, "seed for the fault-injection rate draws")
+	crashOn := fs.Int("fault-crash-on", 0, "crash (no completion, heartbeats stop) on the nth leased job")
+	stallOn := fs.Int("fault-stall-on", 0, "stall (hold the lease forever, keep heartbeating) on the nth leased job")
+	rejectOn := fs.Int("fault-reject-on", 0, "reject the nth leased job with an injected error")
+	rejectRate := fs.Float64("fault-reject-rate", 0, "seeded per-job rejection probability")
+	slowRate := fs.Float64("fault-slow-rate", 0, "seeded per-job straggler probability")
+	slowDelay := fs.Duration("fault-slow-delay", 0, "injected straggler delay (default 2x lease ttl)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coordinator == "" {
+		return fmt.Errorf("worker: -coordinator is required")
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	w := dispatch.NewWorker(dispatch.WorkerOptions{
+		Coordinator: strings.TrimRight(*coordinator, "/"),
+		Name:        *name,
+		PollWait:    *poll,
+		Faults: dispatch.FaultConfig{
+			Seed:        *faultSeed,
+			CrashOnJob:  *crashOn,
+			StallOnJob:  *stallOn,
+			RejectOnJob: *rejectOn,
+			RejectRate:  *rejectRate,
+			SlowRate:    *slowRate,
+			SlowDelay:   *slowDelay,
+		},
+		Logf: log.Printf,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop() // second signal: default handling, immediate death
+	}()
+	log.Printf("msvdsm worker %s: joining %s (engine %s)", *name, *coordinator, harness.EngineVersion)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	// A drain signal that lands while the worker is between leases (or
+	// mid-retry against a gone coordinator) is a clean exit, not a fault.
+	return nil
 }
 
 // renderGridTable is the text view of raw grid records.

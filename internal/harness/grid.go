@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -177,11 +178,25 @@ func (g Grid) Run() ([]Record, error) {
 // earliest-indexed failure reported, and the optional progress callback
 // invoked per completed job as documented on Grid.Progress.
 func RunJobs(jobs []Job, workers int, progress func(index int, rec Record)) ([]Record, error) {
+	return RunJobsContext(context.Background(), jobs, workers, progress)
+}
+
+// RunJobsContext is RunJobs with cancellation: ctx is consulted before
+// every job start (in the serial loop and in each pool worker), so a
+// canceled sweep — a disconnected streaming client, a shutting-down
+// server — stops burning CPU after at most the jobs already running.
+// An individual simulation is not interruptible; cancellation is
+// between-job granularity.  The first cancellation error observed is
+// returned like any job failure.
+func RunJobsContext(ctx context.Context, jobs []Job, workers int, progress func(index int, rec Record)) ([]Record, error) {
 	if workers > 1 && len(jobs) > 1 {
-		return runPool(jobs, workers, progress)
+		return runPool(ctx, jobs, workers, progress)
 	}
 	var recs []Record
 	for i, j := range jobs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rec, err := j.Run()
 		if err != nil {
 			return nil, err
@@ -196,7 +211,7 @@ func RunJobs(jobs []Job, workers int, progress func(index int, rec Record)) ([]R
 
 // runPool executes the jobs across a pool of workers, collecting records
 // by job index so the output order and content match the serial path.
-func runPool(jobs []Job, workers int, progress func(index int, rec Record)) ([]Record, error) {
+func runPool(ctx context.Context, jobs []Job, workers int, progress func(index int, rec Record)) ([]Record, error) {
 	recs := make([]Record, len(jobs))
 	errs := make([]error, len(jobs))
 	// Isolate per-job app state: cloneable apps get a fresh clone per
@@ -227,6 +242,10 @@ func runPool(jobs []Job, workers int, progress func(index int, rec Record)) ([]R
 				i := int(next.Add(1))
 				if i >= len(work) {
 					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
 				}
 				if mu := locks[jobs[i].App]; mu != nil {
 					mu.Lock()

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -135,4 +136,52 @@ func TestWriteRecordsPropagatesWriterErrors(t *testing.T) {
 	if err := WriteJSON(&buf, recs); err != nil {
 		t.Fatalf("WriteJSON on a healthy sink: %v", err)
 	}
+}
+
+// TestRunJobsContextCancel pins the cancellation contract on both
+// execution paths: a context canceled mid-sweep stops the remaining
+// jobs and surfaces context.Canceled; a pre-canceled context runs
+// nothing at all.
+func TestRunJobsContextCancel(t *testing.T) {
+	apps := Apps(0.01)
+	grid := Grid{
+		Apps:      []core.App{Find(apps, "EP")},
+		Backends:  core.StandardBackends(),
+		Scenarios: BaseScenarios(2, 4),
+	}
+	jobs, err := grid.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) < 3 {
+		t.Fatalf("grid too small for the test: %d jobs", len(jobs))
+	}
+
+	t.Run("serial mid-sweep", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		var completed int
+		_, err := RunJobsContext(ctx, jobs, 1, func(i int, rec Record) {
+			completed++
+			cancel() // first completion pulls the plug
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled serial sweep: %v, want context.Canceled", err)
+		}
+		if completed != 1 {
+			t.Fatalf("serial sweep completed %d jobs after cancel, want 1", completed)
+		}
+	})
+
+	t.Run("pool pre-canceled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var completed int
+		_, err := RunJobsContext(ctx, jobs, 4, func(i int, rec Record) { completed++ })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("pre-canceled pool sweep: %v, want context.Canceled", err)
+		}
+		if completed != 0 {
+			t.Fatalf("pre-canceled pool sweep completed %d jobs, want 0", completed)
+		}
+	})
 }

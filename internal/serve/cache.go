@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
@@ -16,13 +17,23 @@ import (
 // Records are immutable once computed — a hash fully determines its
 // record — so the store needs no invalidation beyond capacity eviction:
 // model changes arrive as new EngineVersion hashes, never as updates.
+//
+// The disk tier is strictly best-effort: a failed write (ENOSPC, a
+// directory yanked from under the server, permissions) logs once and
+// degrades the store to memory-only rather than failing requests —
+// records are recomputable, so losing persistence costs warmth, never
+// correctness.
 type Store struct {
+	// Logf receives the disk-degrade notice; nil means log.Printf.
+	Logf func(format string, args ...any)
+
 	mu    sync.Mutex
 	cap   int // max in-memory entries; <= 0 means unbounded
 	ll    *list.List
 	byKey map[string]*list.Element
 
-	dir string // "" disables disk persistence
+	dir          string // "" disables disk persistence
+	diskDisabled bool   // a write failed; disk tier abandoned
 
 	hits, diskHits, misses, evictions int64
 }
@@ -42,6 +53,10 @@ type StoreStats struct {
 	DiskHits  int64 `json:"disk_hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
+
+	// DiskDisabled reports that a disk-tier write failed and the store
+	// degraded itself to memory-only.
+	DiskDisabled bool `json:"disk_disabled,omitempty"`
 }
 
 // NewStore returns a store holding up to capacity records in memory
@@ -76,9 +91,10 @@ func (s *Store) lookup(key string, count bool) (harness.Record, bool) {
 		s.mu.Unlock()
 		return rec, true
 	}
+	dir := s.dir
 	s.mu.Unlock()
-	if s.dir != "" {
-		if rec, ok := s.load(key); ok {
+	if dir != "" {
+		if rec, ok := s.load(dir, key); ok {
 			s.mu.Lock()
 			s.insert(key, rec)
 			if count {
@@ -98,14 +114,37 @@ func (s *Store) lookup(key string, count bool) (harness.Record, bool) {
 }
 
 // Put caches the record under key in memory and, when persistence is
-// configured, on disk.
+// configured, on disk.  A disk write failure degrades the store to
+// memory-only (logged once) instead of surfacing to the caller.
 func (s *Store) Put(key string, rec harness.Record) {
 	s.mu.Lock()
 	s.insert(key, rec)
+	dir := s.dir
 	s.mu.Unlock()
-	if s.dir != "" {
-		s.save(key, rec)
+	if dir != "" {
+		if err := s.save(dir, key, rec); err != nil {
+			s.disableDisk(err)
+		}
 	}
+}
+
+// disableDisk abandons the disk tier after a failed write: later Puts
+// and Gets skip it entirely.
+func (s *Store) disableDisk(err error) {
+	s.mu.Lock()
+	if s.dir == "" {
+		s.mu.Unlock()
+		return
+	}
+	dir := s.dir
+	s.dir = ""
+	s.diskDisabled = true
+	logf := s.Logf
+	s.mu.Unlock()
+	if logf == nil {
+		logf = log.Printf
+	}
+	logf("serve: disk cache write under %s failed (%v); degrading to memory-only", dir, err)
 }
 
 // Stats returns a snapshot of the store counters.
@@ -113,11 +152,12 @@ func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return StoreStats{
-		Entries:   s.ll.Len(),
-		Hits:      s.hits,
-		DiskHits:  s.diskHits,
-		Misses:    s.misses,
-		Evictions: s.evictions,
+		Entries:      s.ll.Len(),
+		Hits:         s.hits,
+		DiskHits:     s.diskHits,
+		Misses:       s.misses,
+		Evictions:    s.evictions,
+		DiskDisabled: s.diskDisabled,
 	}
 }
 
@@ -140,10 +180,10 @@ func (s *Store) insert(key string, rec harness.Record) {
 	}
 }
 
-// path maps a spec hash to its persistence file.  Hashes are lowercase
-// hex by construction; anything else is rejected so a hand-crafted key
-// can never escape the cache directory.
-func (s *Store) path(key string) (string, bool) {
+// cachePath maps a spec hash to its persistence file.  Hashes are
+// lowercase hex by construction; anything else is rejected so a
+// hand-crafted key can never escape the cache directory.
+func cachePath(dir, key string) (string, bool) {
 	if key == "" {
 		return "", false
 	}
@@ -153,11 +193,11 @@ func (s *Store) path(key string) (string, bool) {
 			return "", false
 		}
 	}
-	return filepath.Join(s.dir, key+".json"), true
+	return filepath.Join(dir, key+".json"), true
 }
 
-func (s *Store) load(key string) (harness.Record, bool) {
-	p, ok := s.path(key)
+func (s *Store) load(dir, key string) (harness.Record, bool) {
+	p, ok := cachePath(dir, key)
 	if !ok {
 		return harness.Record{}, false
 	}
@@ -173,30 +213,33 @@ func (s *Store) load(key string) (harness.Record, bool) {
 }
 
 // save persists a record as a JSON file, written to a temp name and
-// renamed so concurrent readers never observe a torn write.
-func (s *Store) save(key string, rec harness.Record) {
-	p, ok := s.path(key)
+// renamed so concurrent readers never observe a torn write.  The
+// returned error is the caller's signal to degrade the disk tier.
+func (s *Store) save(dir, key string, rec harness.Record) error {
+	p, ok := cachePath(dir, key)
 	if !ok {
-		return
+		return nil // unhashlike key: nothing to persist, not a disk fault
 	}
 	data, err := json.Marshal(rec)
 	if err != nil {
-		return
+		return nil // unserializable record is not a disk fault
 	}
-	tmp, err := os.CreateTemp(s.dir, "put-*")
+	tmp, err := os.CreateTemp(dir, "put-*")
 	if err != nil {
-		return
+		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return
+		return err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return
+		return err
 	}
 	if err := os.Rename(tmp.Name(), p); err != nil {
 		os.Remove(tmp.Name())
+		return err
 	}
+	return nil
 }

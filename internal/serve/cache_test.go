@@ -124,3 +124,70 @@ func TestStoreDiskPersistence(t *testing.T) {
 		}
 	}
 }
+
+// TestStoreDegradesOnDiskWriteFailure pins the disk-tier failure
+// policy: when a write fails mid-flight (here the cache directory is
+// replaced by a regular file, standing in for ENOSPC or a yanked
+// mount), the store logs once, flags itself degraded, and keeps
+// serving from memory — no error ever reaches a Put caller.
+func TestStoreDegradesOnDiskWriteFailure(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	s, err := NewStore(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logged []string
+	s.Logf = func(format string, args ...any) {
+		logged = append(logged, format)
+	}
+
+	s.Put(key("a"), rec(1))
+	if _, err := os.Stat(filepath.Join(dir, key("a")+".json")); err != nil {
+		t.Fatalf("healthy disk tier did not persist: %v", err)
+	}
+
+	// Yank the directory out from under the store.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s.Put(key("b"), rec(2)) // write fails; store degrades
+	if st := s.Stats(); !st.DiskDisabled {
+		t.Fatal("store did not flag itself disk-disabled after a failed write")
+	}
+	if len(logged) != 1 {
+		t.Fatalf("degrade logged %d times, want exactly once: %v", len(logged), logged)
+	}
+	if got, ok := s.Get(key("b")); !ok || got.TimeNS != 2 {
+		t.Fatal("memory tier lost the record whose disk write failed")
+	}
+	if got, ok := s.Get(key("a")); !ok || got.TimeNS != 1 {
+		t.Fatal("memory tier lost the pre-degrade record")
+	}
+
+	// Further writes stay memory-only and quiet.
+	s.Put(key("c"), rec(3))
+	if len(logged) != 1 {
+		t.Fatalf("second failed write logged again: %v", logged)
+	}
+	if _, ok := s.Get(key("c")); !ok {
+		t.Fatal("degraded store dropped a new record")
+	}
+}
+
+// TestNewStoreUnwritableDir pins startup behavior: an unusable
+// -cache-dir (a path under a regular file) is a hard error at
+// construction, not a silent memory-only server.
+func TestNewStoreUnwritableDir(t *testing.T) {
+	base := t.TempDir()
+	file := filepath.Join(base, "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore(0, filepath.Join(file, "cache")); err == nil {
+		t.Fatal("NewStore accepted a cache dir under a regular file")
+	}
+}

@@ -70,6 +70,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -80,6 +81,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/harness"
 )
 
@@ -100,6 +102,13 @@ type Options struct {
 
 	// Store is the content-addressed record cache; required.
 	Store *Store
+
+	// Dispatcher, when non-nil, fronts a worker fleet: cold jobs are
+	// leased to registered workers (internal/dispatch) and only fall
+	// back to the local pool when no live worker exists, the
+	// coordinator is draining, or a job exhausts its lease attempts.
+	// The dispatcher's worker-facing routes mount under /v1/dispatch/.
+	Dispatcher *dispatch.Dispatcher
 }
 
 // Server answers grid requests from the cache, computing only misses.
@@ -113,6 +122,8 @@ type Server struct {
 	recordsServed atomic.Int64
 	computed      atomic.Int64
 	inflight      atomic.Int64
+	dispatched    atomic.Int64
+	fallbacks     atomic.Int64
 }
 
 // New returns a server over the given options.
@@ -140,6 +151,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/grid", s.handleGrid)
 	mux.HandleFunc("/v1/spec", s.handleSpec)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	if s.opts.Dispatcher != nil {
+		mux.Handle("/v1/dispatch/", s.opts.Dispatcher.Handler())
+	}
 	return mux
 }
 
@@ -151,22 +165,34 @@ type Stats struct {
 	RecordsServed int64  `json:"records_served"`
 	Computed      int64  `json:"computed"`
 	Inflight      int64  `json:"inflight"`
+	Dispatched    int64  `json:"dispatched"`
+	Fallbacks     int64  `json:"fallbacks"`
 	StoreStats
+	Dispatch *dispatch.Stats `json:"dispatch,omitempty"`
 }
 
 // Stats returns a snapshot of the service counters.  Computed counts
-// actual backend runs — the warm-path proof is this number standing
-// still while records keep flowing.
+// actual local backend runs (the warm-path proof is this number
+// standing still while records keep flowing), Dispatched the records
+// obtained from the worker fleet, and Fallbacks the jobs that came
+// back from the dispatcher unserved and ran locally instead.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Engine:        harness.EngineVersion,
 		Requests:      s.requests.Load(),
 		BadRequests:   s.badRequests.Load(),
 		RecordsServed: s.recordsServed.Load(),
 		Computed:      s.computed.Load(),
 		Inflight:      s.inflight.Load(),
+		Dispatched:    s.dispatched.Load(),
+		Fallbacks:     s.fallbacks.Load(),
 		StoreStats:    s.opts.Store.Stats(),
 	}
+	if s.opts.Dispatcher != nil {
+		ds := s.opts.Dispatcher.Stats()
+		st.Dispatch = &ds
+	}
+	return st
 }
 
 // gridRequest is the selection schema shared by /v1/grid and /v1/spec:
@@ -250,8 +276,10 @@ func parseRequest(r *http.Request) (gridRequest, error) {
 	return req, nil
 }
 
-// resolve turns a request into enumerated jobs plus their spec hashes.
-func (s *Server) resolve(req gridRequest) ([]harness.Job, []string, error) {
+// resolve turns a request into enumerated jobs plus their spec hashes,
+// and reports the effective workload scale (the request's, or the
+// server default) so the dispatch path can name it on the wire.
+func (s *Server) resolve(req gridRequest) ([]harness.Job, []string, float64, error) {
 	scale := req.Scale
 	if scale == 0 {
 		scale = s.opts.Scale
@@ -264,7 +292,7 @@ func (s *Server) resolve(req gridRequest) ([]harness.Job, []string, error) {
 	}
 	grid, err := sel.Resolve(scale)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, scale, err
 	}
 	if s.opts.Parallel {
 		for i := range grid.Scenarios {
@@ -273,13 +301,13 @@ func (s *Server) resolve(req gridRequest) ([]harness.Job, []string, error) {
 	}
 	jobs, err := grid.Jobs()
 	if err != nil {
-		return nil, nil, &harness.FieldError{Field: "scenarios", Err: err}
+		return nil, nil, scale, &harness.FieldError{Field: "scenarios", Err: err}
 	}
 	hashes := make([]string, len(jobs))
 	for i, j := range jobs {
 		hashes[i] = harness.SpecHash(j)
 	}
-	return jobs, hashes, nil
+	return jobs, hashes, scale, nil
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
@@ -326,7 +354,7 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	jobs, hashes, err := s.resolve(req)
+	jobs, hashes, _, err := s.resolve(req)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -376,7 +404,7 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	jobs, hashes, err := s.resolve(req)
+	jobs, hashes, scale, err := s.resolve(req)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -420,7 +448,7 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	if err := s.runCold(jobs, hashes, recs, cold, emit); err != nil {
+	if err := s.runCold(r.Context(), req, scale, jobs, hashes, recs, cold, emit); err != nil {
 		if req.Stream {
 			// Headers are long gone; report the failure in-band.
 			emit(streamDone{Done: true, Records: len(jobs), Hits: len(jobs) - len(cold),
@@ -444,12 +472,24 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// runCold executes the cold job indices across the worker pool, filling
-// recs in place.  Each computation goes through the singleflight group
-// keyed by spec hash, and re-checks the store inside the flight, so an
-// identical job — in this request or a concurrent one — computes
-// exactly once no matter how the flights interleave with completions.
-func (s *Server) runCold(jobs []harness.Job, hashes []string, recs []harness.Record, cold []int, emit func(any) error) error {
+// runCold executes the cold job indices, filling recs in place.  Each
+// computation goes through the singleflight group keyed by spec hash,
+// and re-checks the store inside the flight, so an identical job — in
+// this request or a concurrent one — computes exactly once no matter
+// how the flights interleave with completions.
+//
+// With a dispatcher attached and workers registered, cold jobs are
+// leased to the fleet (all of them concurrently — the goroutines just
+// wait on completions) and only fall back to the bounded local pool
+// when the dispatcher cannot serve them (no workers left, coordinator
+// draining, or a job that exhausted its lease attempts): local compute
+// is always correct, just not scaled out.
+//
+// ctx is the request context: when the client disconnects mid-sweep,
+// jobs not yet started are abandoned instead of burning CPU for a
+// reply nobody reads.  A job already running completes (a simulation
+// is not interruptible) and still lands in the store.
+func (s *Server) runCold(ctx context.Context, req gridRequest, scale float64, jobs []harness.Job, hashes []string, recs []harness.Record, cold []int, emit func(any) error) error {
 	if len(cold) == 0 {
 		return nil
 	}
@@ -466,13 +506,22 @@ func (s *Server) runCold(jobs []harness.Job, hashes []string, recs []harness.Rec
 		}
 		work[i] = j
 	}
-	workers := s.opts.Workers
+	local := s.opts.Workers
+	if local < 1 {
+		local = 1
+	}
+	fleet := s.opts.Dispatcher != nil && s.opts.Dispatcher.HasWorkers()
+	workers := local
+	if fleet {
+		workers = len(cold)
+	}
 	if workers > len(cold) {
 		workers = len(cold)
 	}
-	if workers < 1 {
-		workers = 1
-	}
+	// localSlots bounds actual local computation to the configured pool
+	// width even when the goroutine count was widened for dispatch
+	// fan-out and jobs fall back local.
+	localSlots := make(chan struct{}, local)
 	errs := make([]error, len(jobs))
 	var next atomic.Int64
 	next.Store(-1)
@@ -487,6 +536,10 @@ func (s *Server) runCold(jobs []harness.Job, hashes []string, recs []harness.Rec
 					return
 				}
 				i := cold[k]
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				s.inflight.Add(1)
 				rec, err, _ := s.flights.do(hashes[i], func() (harness.Record, error) {
 					// Double-check the store: a flight for this hash may
@@ -495,6 +548,29 @@ func (s *Server) runCold(jobs []harness.Job, hashes []string, recs []harness.Rec
 					if rec, ok := s.opts.Store.lookup(hashes[i], false); ok {
 						return rec, nil
 					}
+					if fleet {
+						ref := dispatch.JobRef{
+							Apps:      req.Apps,
+							Backends:  req.Backends,
+							Scenarios: req.Scenarios,
+							NProcs:    req.NProcs,
+							Scale:     scale,
+							Index:     i,
+						}
+						rec, err := s.opts.Dispatcher.Do(ctx, ref, hashes[i])
+						if err == nil {
+							s.dispatched.Add(1)
+							s.opts.Store.Put(hashes[i], rec)
+							return rec, nil
+						}
+						if ctx.Err() != nil {
+							return rec, ctx.Err()
+						}
+						// Unserved by the fleet — compute locally below.
+						s.fallbacks.Add(1)
+					}
+					localSlots <- struct{}{}
+					defer func() { <-localSlots }()
 					s.computed.Add(1)
 					j := work[i]
 					if mu := locks[jobs[i].App]; mu != nil {

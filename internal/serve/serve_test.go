@@ -3,7 +3,9 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -432,5 +434,32 @@ func TestFlightGroupSharesInFlightResult(t *testing.T) {
 		if !<-shared {
 			t.Fatalf("joiner %d did not share the in-flight result", i)
 		}
+	}
+}
+
+// TestRunColdCanceledContext pins satellite request-cancellation
+// behavior: a cold sweep whose request context is already canceled (a
+// disconnected client) computes nothing and surfaces the cancellation
+// instead of burning CPU for a reply nobody reads.
+func TestRunColdCanceledContext(t *testing.T) {
+	srv, _ := testServer(t, Options{Workers: 2})
+	req := gridRequest{Apps: []string{"ep"}, Backends: []string{"tmk", "pvm"}, Scenarios: []string{"base"}, NProcs: []int{2}}
+	jobs, hashes, scale, err := srv.resolve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := make([]int, len(jobs))
+	for i := range cold {
+		cold[i] = i
+	}
+	recs := make([]harness.Record, len(jobs))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := srv.runCold(ctx, req, scale, jobs, hashes, recs, cold, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("runCold with canceled ctx: %v, want context.Canceled", err)
+	}
+	if got := srv.Stats().Computed; got != 0 {
+		t.Fatalf("canceled sweep computed %d jobs, want 0", got)
 	}
 }
